@@ -1,0 +1,70 @@
+"""Shared configuration of the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  Because the
+paper's full workloads (10^6-10^7 simulation samples, 147 + 147 filters,
+196 images) take hours in pure Python, each harness has a *reduced*
+default configuration that preserves the shape of the result and runs in
+minutes, and a *full* configuration enabled by setting the environment
+variable ``REPRO_FULL_BENCH=1``.
+
+All harnesses print their table to stdout (run pytest with ``-s`` to see
+it) and also write it under ``benchmarks/results/`` so the numbers used in
+EXPERIMENTS.md can be traced back to a file.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def full_mode() -> bool:
+    """Whether the full (paper-sized) workloads were requested."""
+    return os.environ.get("REPRO_FULL_BENCH", "0") not in ("", "0", "false")
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> dict:
+    """Workload sizes for the current mode (reduced by default)."""
+    if full_mode():
+        return {
+            "mode": "full",
+            "filter_bank_count": 147,
+            "filter_bank_samples": 1_000_000,
+            "freq_filter_samples": 2_000_000,
+            "dwt_images": 32,
+            "dwt_image_size": 128,
+            "n_psd_sweep": (16, 32, 64, 128, 256, 512, 1024),
+            "timing_n_psd_sweep": (16, 64, 256, 1024, 4096),
+            "bitwidth_sweep": (8, 12, 16, 20, 24, 28, 32),
+            "default_n_psd": 1024,
+        }
+    return {
+        "mode": "reduced",
+        "filter_bank_count": 21,
+        "filter_bank_samples": 30_000,
+        "freq_filter_samples": 60_000,
+        "dwt_images": 4,
+        "dwt_image_size": 64,
+        "n_psd_sweep": (16, 32, 64, 128, 256, 512, 1024),
+        "timing_n_psd_sweep": (16, 64, 256, 1024),
+        "bitwidth_sweep": (8, 12, 16, 20, 24),
+        "default_n_psd": 512,
+    }
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory where the harnesses drop their text reports."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_report(results_dir: Path, name: str, text: str) -> None:
+    """Print a report and persist it under ``benchmarks/results/``."""
+    print("\n" + text)
+    (results_dir / name).write_text(text + "\n")

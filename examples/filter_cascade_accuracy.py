@@ -1,0 +1,70 @@
+"""Accuracy evaluation of a multi-block filter cascade.
+
+This example reproduces, on a small two-stage system, the central effect
+the paper exploits: once quantization noise has been *colored* by a
+frequency-selective block, a downstream block no longer sees white noise,
+and the PSD-agnostic hierarchical method mis-estimates the output noise
+while the proposed PSD method keeps tracking it.
+
+The system is a low-pass FIR followed by a high-pass FIR with barely
+overlapping pass-bands (an extreme but legitimate band-pass design), with
+every signal quantized to ``d`` fractional bits.
+
+Run with::
+
+    python examples/filter_cascade_accuracy.py
+"""
+
+from __future__ import annotations
+
+from repro import AccuracyEvaluator, SfgBuilder
+from repro.data.signals import uniform_white_noise
+from repro.lti.fir_design import design_fir_highpass, design_fir_lowpass
+from repro.utils.tables import TextTable
+
+
+def build_cascade(fractional_bits: int):
+    """Low-pass (cutoff 0.35) then high-pass (cutoff 0.6): colored noise."""
+    builder = SfgBuilder("lp-hp-cascade")
+    x = builder.input("x", fractional_bits=fractional_bits)
+    lowpass = builder.fir("lowpass", design_fir_lowpass(31, 0.35), x,
+                          fractional_bits=fractional_bits)
+    highpass = builder.fir("highpass", design_fir_highpass(31, 0.6), lowpass,
+                           fractional_bits=fractional_bits)
+    builder.output("y", highpass)
+    return builder.build()
+
+
+def main() -> None:
+    table = TextTable(
+        ["d [bits]", "simulated", "PSD est.", "PSD Ed [%]",
+         "agnostic est.", "agnostic Ed [%]"],
+        title="Colored-noise cascade: proposed PSD method vs PSD-agnostic")
+
+    for fractional_bits in (8, 12, 16, 20):
+        graph = build_cascade(fractional_bits)
+        evaluator = AccuracyEvaluator(graph, n_psd=1024)
+        stimulus = uniform_white_noise(80_000, amplitude=0.9,
+                                       seed=fractional_bits)
+        comparison = evaluator.compare(stimulus, methods=("psd", "agnostic"),
+                                       discard_transient=128)
+        psd_report = comparison.reports["psd"]
+        agnostic_report = comparison.reports["agnostic"]
+        table.add_row(
+            fractional_bits,
+            comparison.simulation.error_power,
+            psd_report.estimate.power,
+            round(psd_report.ed_percent, 2),
+            agnostic_report.estimate.power,
+            round(agnostic_report.ed_percent, 2),
+        )
+
+    print(table.render())
+    print("\nThe PSD-agnostic column treats the noise entering the high-pass "
+          "stage as white and therefore over-estimates how much of it "
+          "reaches the output; the proposed method follows the simulation "
+          "within a few percent at every word length.")
+
+
+if __name__ == "__main__":
+    main()

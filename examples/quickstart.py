@@ -1,0 +1,69 @@
+"""Quick start: estimate the output quantization noise of a small system.
+
+This example builds the smallest interesting fixed-point system — a
+quantized input feeding a low-pass FIR filter whose output is re-quantized
+— and compares the three analytical accuracy-evaluation methods against a
+Monte-Carlo simulation, exactly the workflow of the paper's experiments.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import AccuracyEvaluator, SfgBuilder
+from repro.data.signals import uniform_white_noise
+from repro.lti.fir_design import design_fir_lowpass
+from repro.utils.tables import TextTable
+
+
+def build_system(fractional_bits: int = 12):
+    """A quantized input, a 16-tap low-pass FIR and a re-quantized output."""
+    builder = SfgBuilder("quickstart")
+    x = builder.input("x", fractional_bits=fractional_bits)
+    taps = design_fir_lowpass(16, cutoff=0.25)
+    filtered = builder.fir("lowpass", taps, x, fractional_bits=fractional_bits)
+    builder.output("out", filtered)
+    return builder.build()
+
+
+def main() -> None:
+    fractional_bits = 12
+    graph = build_system(fractional_bits)
+    evaluator = AccuracyEvaluator(graph, n_psd=512)
+
+    # Monte-Carlo reference plus the three analytical estimators.
+    stimulus = uniform_white_noise(100_000, amplitude=0.9, seed=42)
+    comparison = evaluator.compare(
+        stimulus,
+        methods=("psd", "flat", "agnostic"),
+        discard_transient=64,
+        metadata={"fractional_bits": fractional_bits},
+    )
+
+    print(f"System: {graph.name} with d = {fractional_bits} fractional bits")
+    print(f"Simulated output noise power: "
+          f"{comparison.simulation.error_power:.4e} "
+          f"({comparison.simulation.num_samples} samples)\n")
+
+    table = TextTable(["method", "estimated power", "Ed [%]",
+                       "sub-one-bit?", "time [ms]"])
+    for name, report in comparison.reports.items():
+        table.add_row(
+            name,
+            report.estimate.power,
+            round(report.ed_percent, 3),
+            "yes" if report.sub_one_bit else "NO",
+            round(1000.0 * (report.estimate.elapsed_seconds or 0.0), 3),
+        )
+    print(table.render())
+
+    print("\nInterpretation: on a single filter block the flat, PSD-agnostic "
+          "and proposed PSD methods coincide (Section IV-B of the paper); "
+          "the value of the PSD method appears on multi-block systems — see "
+          "the other examples.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The project is fully described by ``pyproject.toml``; this file only
+enables legacy ``pip install -e . --no-use-pep517`` editable installs on
+machines where PEP 660 editable builds are unavailable (no ``wheel``
+module, offline build isolation).
+"""
+
+from setuptools import setup
+
+setup()

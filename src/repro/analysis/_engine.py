@@ -1,0 +1,116 @@
+"""Shared graph-walking machinery of the analytical evaluation engines.
+
+All three analytical methods traverse the acyclic signal-flow graph in
+topological order, maintaining one noise representation per node output
+(moments, PSD, or per-source tracked spectra) and injecting each node's own
+quantization-noise source at its output.  The only thing that changes
+between methods is the *representation* and its propagation rules, which
+are already encapsulated in the node classes; this module factors the
+traversal itself.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.fixedpoint.noise_model import NoiseStats
+from repro.psd.spectrum import DiscretePsd
+from repro.psd.propagation import TrackedSpectrum
+from repro.sfg.graph import SignalFlowGraph
+from repro.sfg.nodes import IirNode, InputNode, Node
+
+
+def node_noise_sources(graph: SignalFlowGraph) -> dict[str, NoiseStats]:
+    """Moments of the noise source generated at each node (if any)."""
+    sources: dict[str, NoiseStats] = {}
+    for name, node in graph.nodes.items():
+        stats = node.generated_noise()
+        if stats.variance > 0.0 or stats.mean != 0.0:
+            sources[name] = stats
+    return sources
+
+
+def shaped_own_noise_psd(node: Node, stats: NoiseStats,
+                         n_bins: int) -> DiscretePsd:
+    """PSD of a node's own noise source as seen at the node output.
+
+    For most nodes the quantizer sits directly at the output, so the noise
+    is white there.  For IIR blocks the quantizer is inside the recursion
+    and its noise is shaped by ``1 / A(z)`` before reaching the output.
+    """
+    psd = DiscretePsd.white(stats, n_bins)
+    if isinstance(node, IirNode):
+        response = node.noise_shaping_function().frequency_response(n_bins)
+        psd = psd.filtered(response)
+    return psd
+
+
+def shaped_own_noise_stats(node: Node, stats: NoiseStats) -> NoiseStats:
+    """Moments of a node's own noise source as seen at the node output.
+
+    The PSD-agnostic rule: the white source is propagated through the
+    shaping function using only the impulse-response energy and the DC
+    gain.
+    """
+    if isinstance(node, IirNode):
+        shaping = node.noise_shaping_function()
+        return NoiseStats(mean=stats.mean * shaping.coefficient_sum(),
+                          variance=stats.variance * shaping.energy())
+    return stats
+
+
+def shaped_own_noise_tracked(node: Node, stats: NoiseStats,
+                             n_bins: int) -> TrackedSpectrum:
+    """Tracked spectrum of a node's own noise source at the node output."""
+    tracked = TrackedSpectrum.from_source(node.name, stats, n_bins)
+    if isinstance(node, IirNode):
+        response = node.noise_shaping_function().frequency_response(n_bins)
+        tracked = tracked.filtered(response)
+    return tracked
+
+
+def walk(graph: SignalFlowGraph, n_bins: int,
+         zero: Callable[[Node], object],
+         propagate: Callable[[Node, list], object],
+         inject: Callable[[Node, NoiseStats, object], object],
+         ) -> dict[str, object]:
+    """Generic noise-propagation traversal.
+
+    Parameters
+    ----------
+    graph:
+        Validated acyclic signal-flow graph.
+    n_bins:
+        Number of PSD bins (unused by moment-only representations but part
+        of the shared signature).
+    zero:
+        ``zero(node)`` returns the representation of "no noise" for a node
+        with no predecessors.
+    propagate:
+        ``propagate(node, input_representations)`` applies the node's
+        propagation rule.
+    inject:
+        ``inject(node, stats, representation)`` adds the node's own noise
+        source (already known to be non-trivial) to the representation at
+        the node output.
+
+    Returns
+    -------
+    dict
+        Mapping from node name to the noise representation at its output.
+    """
+    graph.validate()
+    order = graph.topological_order()
+    results: dict[str, object] = {}
+    for name in order:
+        node = graph.node(name)
+        if isinstance(node, InputNode) or node.num_inputs == 0:
+            representation = zero(node)
+        else:
+            inputs = [results[edge.source] for edge in graph.predecessors(name)]
+            representation = propagate(node, inputs)
+        own = node.generated_noise()
+        if own.variance > 0.0 or own.mean != 0.0:
+            representation = inject(node, own, representation)
+        results[name] = representation
+    return results

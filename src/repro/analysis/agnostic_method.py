@@ -1,0 +1,77 @@
+"""Hierarchical, PSD-agnostic accuracy evaluation.
+
+This is the state-of-the-art baseline the paper compares against
+(Section II, Fig. 1.b "blind propagation of mu, sigma^2"): the system is
+cut at block boundaries and only the first two moments of the quantization
+noise cross each boundary.  Inside a block the propagation rule treats the
+incoming noise as *white*:
+
+* LTI block ``h``:      ``sigma_out^2 = sigma_in^2 * sum_k h(k)^2``,
+  ``mu_out = mu_in * sum_k h(k)``;
+* adder:                moments add;
+* constant gain ``g``:  ``sigma^2 *= g^2``, ``mu *= g``;
+* decimator:            per-sample moments unchanged;
+* expander (by L):      ``sigma^2 /= L``, ``mu /= L``.
+
+The method is exact when the noise entering every block really is white
+(single-block systems) and exhibits the large errors reported in Table II
+of the paper whenever an upstream block has colored the noise.
+"""
+
+from __future__ import annotations
+
+from repro.analysis._engine import shaped_own_noise_stats, walk
+from repro.fixedpoint.noise_model import NoiseStats
+from repro.sfg.graph import SignalFlowGraph
+
+
+def evaluate_agnostic(graph: SignalFlowGraph,
+                      output: str | None = None) -> NoiseStats:
+    """Estimate the output-noise moments with the PSD-agnostic method.
+
+    Parameters
+    ----------
+    graph:
+        Acyclic signal-flow graph with per-node
+        :class:`~repro.sfg.nodes.QuantizationSpec` assignments.
+    output:
+        Name of the output node to evaluate; may be omitted when the graph
+        has exactly one output.
+
+    Returns
+    -------
+    NoiseStats
+        Estimated mean and variance of the output quantization noise.  The
+        estimated noise power is ``result.power``.
+    """
+    results = walk(
+        graph,
+        n_bins=0,
+        zero=lambda node: NoiseStats(0.0, 0.0),
+        propagate=lambda node, inputs: node.propagate_stats(inputs),
+        inject=lambda node, stats, acc: acc + shaped_own_noise_stats(node, stats),
+    )
+    return results[_resolve_output(graph, output)]
+
+
+def evaluate_agnostic_all(graph: SignalFlowGraph) -> dict[str, NoiseStats]:
+    """Per-node noise moments (useful for word-length refinement loops)."""
+    return walk(
+        graph,
+        n_bins=0,
+        zero=lambda node: NoiseStats(0.0, 0.0),
+        propagate=lambda node, inputs: node.propagate_stats(inputs),
+        inject=lambda node, stats, acc: acc + shaped_own_noise_stats(node, stats),
+    )
+
+
+def _resolve_output(graph: SignalFlowGraph, output: str | None) -> str:
+    outputs = graph.output_names()
+    if output is not None:
+        if output not in outputs:
+            raise ValueError(f"{output!r} is not an output node of the graph")
+        return output
+    if len(outputs) != 1:
+        raise ValueError(
+            f"graph has {len(outputs)} outputs; specify which one to evaluate")
+    return outputs[0]

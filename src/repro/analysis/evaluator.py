@@ -1,0 +1,139 @@
+"""Unified accuracy-evaluation front end.
+
+:class:`AccuracyEvaluator` exposes every estimation method behind one
+interface and builds the simulation-vs-estimation comparisons used by all
+the experiments:
+
+* ``estimate(method=...)`` — run one analytical method on the graph;
+* ``simulate(stimulus)`` — run the Monte-Carlo reference;
+* ``compare(stimulus, methods=...)`` — produce one
+  :class:`~repro.analysis.report.AccuracyReport` per method, which is what
+  the benchmark harnesses print as table rows.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.analysis.agnostic_method import evaluate_agnostic
+from repro.analysis.flat_method import evaluate_flat
+from repro.analysis.psd_method import evaluate_psd, evaluate_psd_tracked
+from repro.analysis.report import AccuracyReport, EstimateResult
+from repro.analysis.simulation_method import SimulationEvaluator, SimulationResult
+from repro.sfg.graph import SignalFlowGraph
+
+_ANALYTICAL_METHODS = ("psd", "psd_tracked", "flat", "agnostic")
+
+
+@dataclass
+class MethodComparison:
+    """Simulation reference plus one report per analytical method."""
+
+    simulation: SimulationResult
+    reports: dict[str, AccuracyReport] = field(default_factory=dict)
+
+    def ed_percent(self, method: str) -> float:
+        """``Ed`` of a given method, in percent."""
+        return self.reports[method].ed_percent
+
+    def describe(self) -> str:
+        """Multi-line textual summary."""
+        lines = [f"simulated error power: {self.simulation.error_power:.4e} "
+                 f"({self.simulation.num_samples} samples)"]
+        lines.extend(report.describe() for report in self.reports.values())
+        return "\n".join(lines)
+
+
+class AccuracyEvaluator:
+    """Evaluate the output quantization noise of a signal-flow graph.
+
+    Parameters
+    ----------
+    graph:
+        Acyclic :class:`SignalFlowGraph` with per-node quantization specs.
+    n_psd:
+        Default number of PSD bins for the PSD-based methods.
+    name:
+        Human-readable system name used in reports.
+    """
+
+    def __init__(self, graph: SignalFlowGraph, n_psd: int = 1024,
+                 name: str | None = None):
+        self.graph = graph
+        self.n_psd = n_psd
+        self.name = name or graph.name
+        self._simulator = SimulationEvaluator(graph)
+
+    # ------------------------------------------------------------------
+    # Individual methods
+    # ------------------------------------------------------------------
+    def estimate(self, method: str = "psd", n_psd: int | None = None,
+                 output: str | None = None) -> EstimateResult:
+        """Run one analytical estimation method.
+
+        Parameters
+        ----------
+        method:
+            ``psd`` (proposed), ``psd_tracked`` (correlation-exact
+            variant), ``flat`` (Eq. 4) or ``agnostic`` (moments only).
+        n_psd:
+            PSD bin count override for the PSD-based methods.
+        output:
+            Output node for multi-output graphs.
+        """
+        if method not in _ANALYTICAL_METHODS:
+            raise ValueError(
+                f"unknown method {method!r}; expected one of {_ANALYTICAL_METHODS}")
+        bins = n_psd or self.n_psd
+        start = time.perf_counter()
+        if method == "psd":
+            psd = evaluate_psd(self.graph, bins, output=output)
+            power, mean, variance = psd.total_power, psd.mean, psd.variance
+            used_bins = bins
+        elif method == "psd_tracked":
+            psd = evaluate_psd_tracked(self.graph, bins, output=output)
+            power, mean, variance = psd.total_power, psd.mean, psd.variance
+            used_bins = bins
+        elif method == "flat":
+            stats = evaluate_flat(self.graph, output=output)
+            power, mean, variance = stats.power, stats.mean, stats.variance
+            used_bins = None
+        else:  # agnostic
+            stats = evaluate_agnostic(self.graph, output=output)
+            power, mean, variance = stats.power, stats.mean, stats.variance
+            used_bins = None
+        elapsed = time.perf_counter() - start
+        return EstimateResult(method=method, power=power, mean=mean,
+                              variance=variance, n_psd=used_bins,
+                              elapsed_seconds=elapsed)
+
+    def simulate(self, stimulus, output: str | None = None,
+                 n_psd: int | None = None,
+                 discard_transient: int = 0) -> SimulationResult:
+        """Run the Monte-Carlo reference on one stimulus."""
+        return self._simulator.evaluate(stimulus, output=output,
+                                        n_psd=n_psd,
+                                        discard_transient=discard_transient)
+
+    # ------------------------------------------------------------------
+    # Comparison
+    # ------------------------------------------------------------------
+    def compare(self, stimulus, methods=("psd", "agnostic"),
+                n_psd: int | None = None, output: str | None = None,
+                discard_transient: int = 0,
+                metadata: dict | None = None) -> MethodComparison:
+        """Compare analytical estimates against the simulation reference."""
+        simulation = self.simulate(stimulus, output=output,
+                                   n_psd=n_psd or self.n_psd,
+                                   discard_transient=discard_transient)
+        reports: dict[str, AccuracyReport] = {}
+        for method in methods:
+            estimate = self.estimate(method, n_psd=n_psd, output=output)
+            reports[method] = AccuracyReport(
+                system=self.name,
+                simulated_power=simulation.error_power,
+                estimate=estimate,
+                metadata=dict(metadata or {}),
+            )
+        return MethodComparison(simulation=simulation, reports=reports)

@@ -1,0 +1,140 @@
+"""Classical flat analytical accuracy evaluation (Eq. 4 of the paper).
+
+The flat method considers the *flattened* system: for every quantization
+noise source ``b_i`` it derives the path transfer function ``h_i`` from
+the source to the output and evaluates
+
+    ``E[b_y^2] = sum_i K_i sigma_i^2  +  sum_i sum_j L_ij mu_i mu_j``
+
+with ``K_i = sum_k h_i(k)^2`` (Eq. 5) and
+``L_ij = (sum_k h_i(k)) (sum_l h_j(l))`` (Eq. 6, time-invariant case).
+
+The implementation composes symbolic :class:`TransferFunction` objects
+along every source-to-output path by dynamic programming over the
+topological order, so re-convergent paths are combined exactly (parallel
+addition of transfer functions) — this is the "accurate but expensive"
+reference analytical method whose preprocessing the hierarchical methods
+try to avoid.  Only single-rate LTI graphs are supported, as in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fixedpoint.noise_model import NoiseStats
+from repro.lti.transfer_function import TransferFunction
+from repro.sfg.graph import SignalFlowGraph
+from repro.sfg.nodes import (
+    AddNode,
+    DownsampleNode,
+    IirNode,
+    InputNode,
+    Node,
+    OutputNode,
+    UpsampleNode,
+    _LtiMixin,
+)
+
+
+def source_path_functions(graph: SignalFlowGraph,
+                          output: str | None = None
+                          ) -> dict[str, TransferFunction]:
+    """Path transfer function from every noise source to the output.
+
+    Returns a mapping ``{source node name: h_i}``.  A node generates a
+    source when its quantization spec is enabled; for IIR nodes the source
+    is pre-shaped by ``1 / A(z)`` (the quantizer lives inside the
+    recursion).
+    """
+    graph.validate()
+    output_name = _resolve_output(graph, output)
+    order = graph.topological_order()
+
+    # paths[node] maps source name -> transfer function from the source to
+    # this node's output.
+    paths: dict[str, dict[str, TransferFunction]] = {}
+    for name in order:
+        node = graph.node(name)
+        _reject_multirate(node)
+        if isinstance(node, InputNode) or node.num_inputs == 0:
+            accumulated: dict[str, TransferFunction] = {}
+        else:
+            input_maps = [paths[edge.source]
+                          for edge in graph.predecessors(name)]
+            accumulated = _propagate_paths(node, input_maps)
+        own = node.generated_noise()
+        if own.variance > 0.0 or own.mean != 0.0:
+            shaping = (node.noise_shaping_function()
+                       if isinstance(node, IirNode)
+                       else TransferFunction.identity())
+            if name in accumulated:
+                accumulated[name] = accumulated[name].parallel(shaping)
+            else:
+                accumulated[name] = shaping
+        paths[name] = accumulated
+    return paths[output_name]
+
+
+def evaluate_flat(graph: SignalFlowGraph,
+                  output: str | None = None) -> NoiseStats:
+    """Estimate the output-noise moments with the flat method (Eq. 4)."""
+    path_functions = source_path_functions(graph, output)
+    sources = {name: graph.node(name).generated_noise()
+               for name in path_functions}
+
+    total_variance = 0.0
+    mean_contributions = []
+    for name, tf in path_functions.items():
+        stats = sources[name]
+        total_variance += stats.variance * tf.energy()        # K_i sigma_i^2
+        mean_contributions.append(stats.mean * tf.coefficient_sum())
+
+    # The double sum over L_ij mu_i mu_j is exactly the square of the sum
+    # of the propagated means (Eq. 6 with time-invariant paths).
+    total_mean = float(np.sum(mean_contributions))
+    return NoiseStats(mean=total_mean, variance=total_variance)
+
+
+def _propagate_paths(node: Node,
+                     input_maps: list[dict[str, TransferFunction]]
+                     ) -> dict[str, TransferFunction]:
+    """Apply a node's transfer behaviour to per-source path functions."""
+    if isinstance(node, OutputNode):
+        (single,) = input_maps
+        return dict(single)
+    if isinstance(node, AddNode):
+        merged: dict[str, TransferFunction] = {}
+        for sign, source_map in zip(node.signs, input_maps):
+            for source, tf in source_map.items():
+                contribution = tf.scaled(sign)
+                if source in merged:
+                    merged[source] = merged[source].parallel(contribution)
+                else:
+                    merged[source] = contribution
+        return merged
+    if isinstance(node, _LtiMixin):
+        (single,) = input_maps
+        block_tf = node._effective_transfer_function()
+        return {source: tf.cascade(block_tf) for source, tf in single.items()}
+    raise NotImplementedError(
+        f"flat method cannot propagate through node type "
+        f"{type(node).__name__}")
+
+
+def _reject_multirate(node: Node) -> None:
+    if isinstance(node, (DownsampleNode, UpsampleNode)):
+        raise NotImplementedError(
+            "the flat analytical method only supports single-rate LTI "
+            f"graphs; found multirate node {node.name!r}")
+
+
+def _resolve_output(graph: SignalFlowGraph, output: str | None) -> str:
+    outputs = graph.output_names()
+    if output is not None:
+        if output not in outputs:
+            raise ValueError(f"{output!r} is not an output node of the graph")
+        return output
+    if len(outputs) != 1:
+        raise ValueError(
+            f"graph has {len(outputs)} outputs; specify which one to evaluate")
+    return outputs[0]

@@ -1,0 +1,82 @@
+"""Accuracy metrics.
+
+The paper compares estimators with the *MSE deviation* ``Ed`` (Eq. 15)::
+
+    Ed = (E[err_sim^2] - E[err_est^2]) / E[err_sim^2]
+
+and states that an estimate within one bit of the simulated value
+corresponds to ``Ed`` in the open interval ``(-75 %, +300 %)`` (one bit of
+word length is a factor of 4 in noise power).  The helpers below implement
+that metric, the usual quality metrics (noise power, MSE, SQNR) and the
+one-bit-equivalence check.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def noise_power(error: np.ndarray) -> float:
+    """Mean-square value ``E[e^2]`` of an error record."""
+    error = np.asarray(error, dtype=float)
+    if error.size == 0:
+        raise ValueError("cannot measure the power of an empty record")
+    return float(np.mean(error ** 2))
+
+
+def mse(reference: np.ndarray, approximation: np.ndarray) -> float:
+    """Mean-square error between two records of equal length."""
+    reference = np.asarray(reference, dtype=float)
+    approximation = np.asarray(approximation, dtype=float)
+    if reference.shape != approximation.shape:
+        raise ValueError(
+            f"shape mismatch: {reference.shape} vs {approximation.shape}")
+    return noise_power(approximation - reference)
+
+
+def sqnr_db(signal_power: float, quantization_noise_power: float) -> float:
+    """Signal-to-quantization-noise ratio in decibels."""
+    if signal_power <= 0:
+        raise ValueError("signal power must be positive")
+    if quantization_noise_power <= 0:
+        raise ValueError("noise power must be positive")
+    return 10.0 * np.log10(signal_power / quantization_noise_power)
+
+
+def ed_deviation(simulated_power: float, estimated_power: float) -> float:
+    """MSE deviation ``Ed`` between simulation and estimation (Eq. 15).
+
+    Expressed as a fraction (0.05 = 5 %).  Positive values mean the
+    estimator under-estimates the simulated error power.
+    """
+    if simulated_power <= 0:
+        raise ValueError("simulated error power must be positive")
+    return (simulated_power - estimated_power) / simulated_power
+
+
+def equivalent_bit_error(simulated_power: float, estimated_power: float) -> float:
+    """Estimation error expressed in equivalent bits.
+
+    One bit of fractional word length corresponds to a factor of 4 in
+    noise power, so the equivalent-bit error is
+    ``0.5 * log2(estimated / simulated)`` in magnitude.
+    """
+    if simulated_power <= 0 or estimated_power <= 0:
+        raise ValueError("powers must be positive")
+    return abs(0.5 * np.log2(estimated_power / simulated_power))
+
+
+def is_sub_one_bit(ed: float) -> bool:
+    """Whether an ``Ed`` value corresponds to a sub-one-bit estimate.
+
+    The paper derives the band ``Ed in (-75 %, +300 %)`` from the power
+    ratio between two successive word lengths: an estimate within that
+    band is closer to the simulated power than the powers of the
+    neighbouring word lengths are.
+    """
+    return -3.0 < ed < 0.75
+
+
+def ed_from_records(simulated_error: np.ndarray, estimated_power: float) -> float:
+    """Convenience: ``Ed`` directly from an error record and an estimate."""
+    return ed_deviation(noise_power(simulated_error), estimated_power)

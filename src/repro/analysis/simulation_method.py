@@ -1,0 +1,160 @@
+"""Simulation-based (Monte-Carlo) accuracy evaluation.
+
+This is the reference method of the paper: the system is executed twice on
+the same stimulus — once in IEEE double precision (standing in for infinite
+precision) and once in bit-true fixed point — and the output quantization
+noise is the difference of the two runs.  Its power is the ground truth
+``E[err_sim^2]`` of the deviation metric ``Ed`` (Eq. 15), and its Welch
+spectrum is the ground truth for the frequency-repartition comparison of
+Fig. 7.
+
+The evaluator accepts either
+
+* a :class:`~repro.sfg.graph.SignalFlowGraph` (executed with
+  :class:`~repro.sfg.executor.SfgExecutor`), or
+* any object implementing the :class:`FixedPointSystem` protocol —
+  ``run_reference(stimulus)`` and ``run_fixed_point(stimulus)`` — which is
+  how the frequency-domain filter and the DWT codec plug in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.analysis.metrics import noise_power
+from repro.psd.estimation import estimate_psd
+from repro.psd.spectrum import DiscretePsd
+from repro.sfg.executor import SfgExecutor
+from repro.sfg.graph import SignalFlowGraph
+
+
+@runtime_checkable
+class FixedPointSystem(Protocol):
+    """Protocol for systems that can be simulated in both precisions."""
+
+    def run_reference(self, stimulus):
+        """Execute the system in double precision."""
+
+    def run_fixed_point(self, stimulus):
+        """Execute the system in bit-true fixed point."""
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulation-based evaluation.
+
+    Attributes
+    ----------
+    error_power:
+        Measured output quantization-noise power ``E[e^2]``.
+    error_mean:
+        Measured mean of the output error.
+    error_psd:
+        Welch estimate of the error PSD (``None`` unless requested).
+    num_samples:
+        Number of output samples used for the measurement.
+    """
+
+    error_power: float
+    error_mean: float
+    error_psd: DiscretePsd | None
+    num_samples: int
+
+    @property
+    def error_variance(self) -> float:
+        """Variance of the output error."""
+        return self.error_power - self.error_mean ** 2
+
+
+class SimulationEvaluator:
+    """Monte-Carlo evaluation of the output quantization noise."""
+
+    def __init__(self, system):
+        """``system`` is a :class:`SignalFlowGraph` or a :class:`FixedPointSystem`."""
+        if isinstance(system, SignalFlowGraph):
+            self._executor = SfgExecutor(system)
+            self._system = None
+        elif isinstance(system, FixedPointSystem):
+            self._executor = None
+            self._system = system
+        else:
+            raise TypeError(
+                "system must be a SignalFlowGraph or implement "
+                "run_reference / run_fixed_point")
+
+    # ------------------------------------------------------------------
+    # Error signal
+    # ------------------------------------------------------------------
+    def error_signal(self, stimulus, output: str | None = None) -> np.ndarray:
+        """Output error record (fixed-point output minus reference output).
+
+        Parameters
+        ----------
+        stimulus:
+            For SFG systems, a mapping from input-node name to its sample
+            vector (a bare array is accepted for single-input graphs).
+            For protocol systems, whatever their ``run_*`` methods expect.
+        output:
+            Output-node name for multi-output SFGs.
+        """
+        if self._executor is not None:
+            stimulus = self._normalize_stimulus(stimulus)
+            reference = self._executor.run(stimulus, mode="double").output(output)
+            fixed = self._executor.run(stimulus, mode="fixed").output(output)
+        else:
+            reference = np.asarray(self._system.run_reference(stimulus), dtype=float)
+            fixed = np.asarray(self._system.run_fixed_point(stimulus), dtype=float)
+        if reference.shape != fixed.shape:
+            raise ValueError(
+                "reference and fixed-point outputs have different shapes: "
+                f"{reference.shape} vs {fixed.shape}")
+        return (fixed - reference).ravel()
+
+    def evaluate(self, stimulus, output: str | None = None,
+                 n_psd: int | None = None,
+                 discard_transient: int = 0) -> SimulationResult:
+        """Measure the output quantization noise on one stimulus.
+
+        Parameters
+        ----------
+        stimulus:
+            Input samples (see :meth:`error_signal`).
+        output:
+            Output-node name for multi-output SFGs.
+        n_psd:
+            When given, also estimate the error PSD on that many bins.
+        discard_transient:
+            Number of leading output samples to drop before measuring
+            (filters have a start-up transient during which the noise is
+            not yet stationary).
+        """
+        error = self.error_signal(stimulus, output=output)
+        if discard_transient:
+            if discard_transient >= len(error):
+                raise ValueError(
+                    f"cannot discard {discard_transient} samples from a "
+                    f"record of length {len(error)}")
+            error = error[discard_transient:]
+        psd = estimate_psd(error, n_psd) if n_psd else None
+        return SimulationResult(
+            error_power=noise_power(error),
+            error_mean=float(np.mean(error)),
+            error_psd=psd,
+            num_samples=len(error),
+        )
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _normalize_stimulus(self, stimulus) -> dict:
+        if isinstance(stimulus, dict):
+            return stimulus
+        input_names = self._executor.graph.input_names()
+        if len(input_names) != 1:
+            raise ValueError(
+                "a bare stimulus array is only accepted for single-input "
+                f"graphs; this graph has inputs {input_names}")
+        return {input_names[0]: stimulus}

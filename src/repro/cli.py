@@ -1,0 +1,154 @@
+"""Command-line front end: evaluate a serialized fixed-point system.
+
+Usage::
+
+    python -m repro.cli evaluate system.json --method psd --n-psd 1024
+    python -m repro.cli simulate system.json --samples 100000 --seed 3
+    python -m repro.cli compare  system.json --methods psd agnostic flat
+    python -m repro.cli optimize system.json --budget 1e-7
+
+The system description is the JSON schema of
+:mod:`repro.sfg.serialization`.  Stimuli for the simulation-based commands
+are generated internally (uniform white noise) so the tool works without
+any data files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.evaluator import AccuracyEvaluator
+from repro.data.signals import uniform_white_noise
+from repro.sfg.serialization import load_graph
+from repro.systems.wordlength import WordLengthOptimizer
+from repro.utils.tables import TextTable
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("system", help="path to the JSON system description")
+    parser.add_argument("--n-psd", type=int, default=1024,
+                        help="number of PSD bins for the PSD-based methods")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PSD-based accuracy evaluation of fixed-point systems")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    evaluate = commands.add_parser(
+        "evaluate", help="analytical estimate of the output noise power")
+    _add_common_arguments(evaluate)
+    evaluate.add_argument("--method", default="psd",
+                          choices=("psd", "psd_tracked", "flat", "agnostic"))
+
+    simulate = commands.add_parser(
+        "simulate", help="Monte-Carlo measurement of the output noise power")
+    _add_common_arguments(simulate)
+    simulate.add_argument("--samples", type=int, default=100_000)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--amplitude", type=float, default=0.9)
+
+    compare = commands.add_parser(
+        "compare", help="simulation vs analytical estimates")
+    _add_common_arguments(compare)
+    compare.add_argument("--methods", nargs="+", default=["psd", "agnostic"])
+    compare.add_argument("--samples", type=int, default=100_000)
+    compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument("--amplitude", type=float, default=0.9)
+
+    optimize = commands.add_parser(
+        "optimize", help="greedy word-length optimization under a noise budget")
+    _add_common_arguments(optimize)
+    optimize.add_argument("--budget", type=float, required=True)
+    optimize.add_argument("--method", default="psd",
+                          choices=("psd", "flat", "agnostic"))
+    optimize.add_argument("--min-bits", type=int, default=4)
+    optimize.add_argument("--max-bits", type=int, default=24)
+    return parser
+
+
+def _command_evaluate(args) -> int:
+    graph = load_graph(args.system)
+    evaluator = AccuracyEvaluator(graph, n_psd=args.n_psd)
+    result = evaluator.estimate(args.method)
+    print(f"system: {graph.name}")
+    print(f"method: {result.method} (N_PSD={result.n_psd})")
+    print(f"estimated output noise power: {result.power:.6e}")
+    print(f"estimated mean / variance: {result.mean:.3e} / {result.variance:.6e}")
+    print(f"evaluation time: {1000.0 * (result.elapsed_seconds or 0.0):.3f} ms")
+    return 0
+
+
+def _command_simulate(args) -> int:
+    graph = load_graph(args.system)
+    evaluator = AccuracyEvaluator(graph, n_psd=args.n_psd)
+    stimulus = {name: uniform_white_noise(args.samples, args.amplitude,
+                                          args.seed + index)
+                for index, name in enumerate(graph.input_names())}
+    result = evaluator.simulate(stimulus)
+    print(f"system: {graph.name}")
+    print(f"simulated output noise power: {result.error_power:.6e} "
+          f"({result.num_samples} samples)")
+    return 0
+
+
+def _command_compare(args) -> int:
+    graph = load_graph(args.system)
+    evaluator = AccuracyEvaluator(graph, n_psd=args.n_psd)
+    stimulus = {name: uniform_white_noise(args.samples, args.amplitude,
+                                          args.seed + index)
+                for index, name in enumerate(graph.input_names())}
+    comparison = evaluator.compare(stimulus, methods=tuple(args.methods))
+    table = TextTable(["method", "estimated power", "Ed [%]", "sub-one-bit?"],
+                      title=f"{graph.name}: simulated power "
+                            f"{comparison.simulation.error_power:.6e}")
+    for name, report in comparison.reports.items():
+        table.add_row(name, report.estimate.power,
+                      round(report.ed_percent, 3),
+                      "yes" if report.sub_one_bit else "NO")
+    print(table.render())
+    return 0
+
+
+def _command_optimize(args) -> int:
+    graph = load_graph(args.system)
+    optimizer = WordLengthOptimizer(graph, method=args.method,
+                                    n_psd=args.n_psd,
+                                    min_bits=args.min_bits,
+                                    max_bits=args.max_bits)
+    result = optimizer.optimize(args.budget)
+    table = TextTable(["node", "fractional bits"],
+                      title=f"{graph.name}: optimized word lengths "
+                            f"(budget {args.budget:.3e})")
+    for name, bits in sorted(result.assignment.items()):
+        table.add_row(name, bits)
+    print(table.render())
+    print(f"estimated output noise: {result.noise_power:.6e}")
+    print(f"total fractional bits: {result.total_bits}")
+    print(f"analytical evaluations: {result.evaluations}")
+    return 0
+
+
+_COMMANDS = {
+    "evaluate": _command_evaluate,
+    "simulate": _command_simulate,
+    "compare": _command_compare,
+    "optimize": _command_optimize,
+}
+
+
+def main(argv=None) -> int:
+    """Entry point (returns a process exit code)."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (OSError, ValueError, KeyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

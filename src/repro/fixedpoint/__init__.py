@@ -1,0 +1,43 @@
+"""Fixed-point arithmetic substrate.
+
+This subpackage provides everything the accuracy-evaluation engines need to
+know about fixed-point data types:
+
+* :class:`~repro.fixedpoint.qformat.QFormat` — a signed/unsigned Q-format
+  description (integer bits, fractional bits) with its representable range
+  and quantization step.
+* :class:`~repro.fixedpoint.quantizer.Quantizer` — a vectorized quantizer
+  supporting rounding, truncation and convergent rounding together with
+  saturation / wrap-around overflow handling.
+* :class:`~repro.fixedpoint.fxparray.FxpArray` — an integer-mantissa
+  fixed-point array with exact add / multiply / re-quantize semantics.
+* :mod:`~repro.fixedpoint.noise_model` — the Widrow pseudo-quantization-noise
+  (PQN) model giving the mean and variance of the error introduced by a
+  quantization, for both continuous-amplitude inputs and re-quantization of
+  already-quantized signals (Section II of the paper).
+"""
+
+from repro.fixedpoint.qformat import QFormat
+from repro.fixedpoint.quantizer import OverflowMode, Quantizer, RoundingMode, quantize
+from repro.fixedpoint.fxparray import FxpArray
+from repro.fixedpoint.noise_model import (
+    NoiseStats,
+    quantization_noise_stats,
+    quantization_noise_psd,
+)
+# NOTE: repro.fixedpoint.range_analysis operates on signal-flow graphs and
+# therefore sits *above* repro.sfg in the layering; import it explicitly
+# (``from repro.fixedpoint.range_analysis import ...``) rather than from
+# this package root to keep the package import acyclic.
+
+__all__ = [
+    "QFormat",
+    "Quantizer",
+    "RoundingMode",
+    "OverflowMode",
+    "quantize",
+    "FxpArray",
+    "NoiseStats",
+    "quantization_noise_stats",
+    "quantization_noise_psd",
+]

@@ -1,0 +1,169 @@
+"""Integer-mantissa fixed-point arrays.
+
+:class:`FxpArray` stores samples as integer mantissas together with their
+:class:`~repro.fixedpoint.qformat.QFormat`.  Arithmetic follows the usual
+fixed-point hardware semantics:
+
+* addition aligns the operands on the finer grid and adds mantissas
+  exactly;
+* multiplication produces the full-precision product (fractional bits add
+  up);
+* :meth:`FxpArray.requantize` reduces the precision with an explicit
+  rounding / overflow behaviour, which is where quantization error is
+  introduced.
+
+The simulation engine of :mod:`repro.analysis` mostly works on plain float
+arrays (quantized values are exactly representable in doubles for the word
+lengths of interest), but :class:`FxpArray` provides bit-exact semantics
+for unit tests, for the examples, and as a reference implementation of the
+fixed-point operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fixedpoint.qformat import QFormat
+from repro.fixedpoint.quantizer import (
+    OverflowMode,
+    Quantizer,
+    RoundingMode,
+)
+
+
+@dataclass(frozen=True)
+class FxpArray:
+    """A fixed-point array with integer mantissa storage.
+
+    Attributes
+    ----------
+    mantissa:
+        Integer mantissas (``numpy.int64``).
+    fmt:
+        Fixed-point format shared by every element.
+    """
+
+    mantissa: np.ndarray
+    fmt: QFormat
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_float(cls, values: np.ndarray, fmt: QFormat,
+                   rounding: RoundingMode = RoundingMode.ROUND,
+                   overflow: OverflowMode = OverflowMode.SATURATE) -> "FxpArray":
+        """Quantize floating-point ``values`` into the given format."""
+        quantizer = Quantizer(fmt, rounding=rounding, overflow=overflow)
+        quantized = quantizer.quantize(np.asarray(values, dtype=float))
+        mantissa = np.round(quantized / fmt.step).astype(np.int64)
+        return cls(mantissa=mantissa, fmt=fmt)
+
+    @classmethod
+    def zeros(cls, shape, fmt: QFormat) -> "FxpArray":
+        """An all-zero fixed-point array of the given shape and format."""
+        return cls(mantissa=np.zeros(shape, dtype=np.int64), fmt=fmt)
+
+    # ------------------------------------------------------------------
+    # Conversion
+    # ------------------------------------------------------------------
+    def to_float(self) -> np.ndarray:
+        """Return the represented values as ``float64``."""
+        return self.mantissa.astype(float) * self.fmt.step
+
+    @property
+    def shape(self):
+        """Shape of the underlying array."""
+        return self.mantissa.shape
+
+    def __len__(self) -> int:
+        return len(self.mantissa)
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def _aligned(self, other: "FxpArray") -> tuple[np.ndarray, np.ndarray, QFormat]:
+        """Align two arrays on the format able to hold their exact sum."""
+        frac = max(self.fmt.fractional_bits, other.fmt.fractional_bits)
+        integer = max(self.fmt.integer_bits, other.fmt.integer_bits) + 1
+        signed = self.fmt.signed or other.fmt.signed
+        out_fmt = QFormat(integer, frac, signed)
+        self_mant = self.mantissa.astype(np.int64) << (frac - self.fmt.fractional_bits)
+        other_mant = other.mantissa.astype(np.int64) << (frac - other.fmt.fractional_bits)
+        return self_mant, other_mant, out_fmt
+
+    def __add__(self, other: "FxpArray") -> "FxpArray":
+        if not isinstance(other, FxpArray):
+            return NotImplemented
+        a, b, fmt = self._aligned(other)
+        return FxpArray(mantissa=a + b, fmt=fmt)
+
+    def __sub__(self, other: "FxpArray") -> "FxpArray":
+        if not isinstance(other, FxpArray):
+            return NotImplemented
+        a, b, fmt = self._aligned(other)
+        return FxpArray(mantissa=a - b, fmt=fmt)
+
+    def __neg__(self) -> "FxpArray":
+        fmt = QFormat(self.fmt.integer_bits + (0 if self.fmt.signed else 1),
+                      self.fmt.fractional_bits, True)
+        return FxpArray(mantissa=-self.mantissa, fmt=fmt)
+
+    def __mul__(self, other: "FxpArray") -> "FxpArray":
+        if not isinstance(other, FxpArray):
+            return NotImplemented
+        fmt = QFormat(self.fmt.integer_bits + other.fmt.integer_bits + 1,
+                      self.fmt.fractional_bits + other.fmt.fractional_bits,
+                      self.fmt.signed or other.fmt.signed)
+        return FxpArray(mantissa=self.mantissa * other.mantissa, fmt=fmt)
+
+    def scale_by_constant(self, constant: float, constant_fmt: QFormat,
+                          rounding: RoundingMode = RoundingMode.ROUND) -> "FxpArray":
+        """Multiply by a quantized constant (full-precision product)."""
+        const = FxpArray.from_float(np.array([constant]), constant_fmt,
+                                    rounding=rounding)
+        fmt = QFormat(self.fmt.integer_bits + constant_fmt.integer_bits + 1,
+                      self.fmt.fractional_bits + constant_fmt.fractional_bits,
+                      True)
+        return FxpArray(mantissa=self.mantissa * int(const.mantissa[0]), fmt=fmt)
+
+    # ------------------------------------------------------------------
+    # Precision management
+    # ------------------------------------------------------------------
+    def requantize(self, fmt: QFormat,
+                   rounding: RoundingMode = RoundingMode.ROUND,
+                   overflow: OverflowMode = OverflowMode.NONE) -> "FxpArray":
+        """Re-quantize into a (typically narrower) target format."""
+        shift = self.fmt.fractional_bits - fmt.fractional_bits
+        if shift <= 0:
+            # Precision increases (or stays the same): exact.
+            mantissa = self.mantissa.astype(np.int64) << (-shift)
+        else:
+            scaled = self.mantissa.astype(float) / (2 ** shift)
+            if rounding is RoundingMode.TRUNCATE:
+                mantissa = np.floor(scaled)
+            elif rounding is RoundingMode.ROUND:
+                mantissa = np.floor(scaled + 0.5)
+            else:
+                mantissa = np.rint(scaled)
+            mantissa = mantissa.astype(np.int64)
+        if overflow is not OverflowMode.NONE:
+            lo, hi = fmt.min_mantissa, fmt.max_mantissa
+            if overflow is OverflowMode.SATURATE:
+                mantissa = np.clip(mantissa, lo, hi)
+            else:
+                span = hi - lo + 1
+                mantissa = lo + np.mod(mantissa - lo, span)
+        return FxpArray(mantissa=mantissa, fmt=fmt)
+
+    # ------------------------------------------------------------------
+    # Comparisons / diagnostics
+    # ------------------------------------------------------------------
+    def error_vs(self, reference: np.ndarray) -> np.ndarray:
+        """Difference between this array and a floating-point reference."""
+        return self.to_float() - np.asarray(reference, dtype=float)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FxpArray(shape={self.mantissa.shape}, fmt={self.fmt})"

@@ -1,0 +1,179 @@
+"""Widrow pseudo-quantization-noise (PQN) model.
+
+Section II of the paper relies on the classical PQN model [Widrow &
+Kollar, 2008]: under mild conditions on the signal distribution, the error
+``e = Q(x) - x`` introduced by a quantizer behaves like an additive noise
+that is
+
+1. uncorrelated with the signal,
+2. white (uncorrelated in time), and
+3. uniformly distributed over one quantization step.
+
+The first two moments of that noise depend on the rounding mode and on
+whether the input is continuous-amplitude or already quantized on a finer
+grid (re-quantization from ``d_in`` to ``d_out`` fractional bits).
+
+With ``q_out = 2**-d_out`` the output step and ``q_in`` the input step
+(``q_in = 0`` for a continuous-amplitude input):
+
+================  =========================  ============================
+mode              mean                        variance
+================  =========================  ============================
+truncation        ``-(q_out - q_in) / 2``    ``(q_out**2 - q_in**2) / 12``
+round half-up     ``q_in / 2``               ``(q_out**2 - q_in**2) / 12``
+convergent        ``0``                      ``(q_out**2 - q_in**2) / 12``
+================  =========================  ============================
+
+These expressions are exact for a discrete input uniformly distributed on
+its grid and are the standard PQN approximations otherwise.
+
+The PSD of such a noise source, discretized over ``n_psd`` frequency bins
+(Eq. 10 of the paper), is white over the non-DC bins and carries the
+squared mean on the DC bin; it is produced by :func:`quantization_noise_psd`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fixedpoint.quantizer import RoundingMode
+
+
+@dataclass(frozen=True)
+class NoiseStats:
+    """First two moments of a quantization noise source.
+
+    Attributes
+    ----------
+    mean:
+        Expected value of the error ``Q(x) - x``.
+    variance:
+        Variance of the error.
+    """
+
+    mean: float
+    variance: float
+
+    @property
+    def power(self) -> float:
+        """Total noise power ``E[e^2] = mean**2 + variance``."""
+        return self.mean ** 2 + self.variance
+
+    def scaled(self, gain: float) -> "NoiseStats":
+        """Moments of the noise after multiplication by a constant gain."""
+        return NoiseStats(mean=self.mean * gain,
+                          variance=self.variance * gain * gain)
+
+    def __add__(self, other: "NoiseStats") -> "NoiseStats":
+        """Moments of the sum of two *uncorrelated* noise sources."""
+        if not isinstance(other, NoiseStats):
+            return NotImplemented
+        return NoiseStats(mean=self.mean + other.mean,
+                          variance=self.variance + other.variance)
+
+
+def quantization_step(fractional_bits: int | None) -> float:
+    """Quantization step for ``fractional_bits`` bits (0 if ``None``).
+
+    ``None`` denotes a continuous-amplitude (infinite precision) signal and
+    maps to a step of zero, which makes the noise expressions below
+    degenerate to the continuous-input case.
+    """
+    if fractional_bits is None:
+        return 0.0
+    if fractional_bits < 0:
+        raise ValueError("fractional_bits must be non-negative or None")
+    return 2.0 ** (-fractional_bits)
+
+
+def quantization_noise_stats(
+    output_fractional_bits: int,
+    rounding: RoundingMode | str = RoundingMode.ROUND,
+    input_fractional_bits: int | None = None,
+) -> NoiseStats:
+    """Mean and variance of a quantization-noise source.
+
+    Parameters
+    ----------
+    output_fractional_bits:
+        Precision of the quantizer output.
+    rounding:
+        Rounding mode of the quantizer.
+    input_fractional_bits:
+        Precision of the quantizer input; ``None`` (default) means the
+        input has continuous amplitude.  When the input is already coarser
+        than or equal to the output the quantizer is transparent and the
+        noise is exactly zero.
+
+    Returns
+    -------
+    NoiseStats
+        The PQN-model moments of the error signal.
+    """
+    rounding = RoundingMode(rounding)
+    q_out = quantization_step(output_fractional_bits)
+    q_in = quantization_step(input_fractional_bits)
+
+    if q_in >= q_out and input_fractional_bits is not None:
+        # Input grid is coarser than (or equal to) the output grid: the
+        # quantization is lossless.
+        return NoiseStats(mean=0.0, variance=0.0)
+
+    variance = (q_out ** 2 - q_in ** 2) / 12.0
+    if rounding is RoundingMode.TRUNCATE:
+        mean = -(q_out - q_in) / 2.0
+    elif rounding is RoundingMode.ROUND:
+        mean = q_in / 2.0
+    else:  # convergent rounding is unbiased
+        mean = 0.0
+    return NoiseStats(mean=mean, variance=variance)
+
+
+def quantization_noise_psd(
+    stats: NoiseStats,
+    n_psd: int,
+) -> np.ndarray:
+    """Discrete PSD of a white quantization-noise source (Eq. 10).
+
+    The convention used throughout this library is that the ``n_psd`` bins
+    of a discrete PSD *sum* to the total signal power ``E[x^2]``.  For a
+    white noise of moments ``(mu, sigma^2)`` this yields
+
+    * ``sigma^2 / (n_psd - 1)`` on every non-DC bin, and
+    * ``mu^2`` on the DC bin,
+
+    so that the sum over all bins equals ``mu^2 + sigma^2``.
+
+    Parameters
+    ----------
+    stats:
+        Moments of the noise source.
+    n_psd:
+        Number of frequency bins (must be at least 2).
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of length ``n_psd``; bin 0 is the DC bin.
+    """
+    if n_psd < 2:
+        raise ValueError(f"n_psd must be at least 2, got {n_psd}")
+    psd = np.full(n_psd, stats.variance / (n_psd - 1), dtype=float)
+    psd[0] = stats.mean ** 2
+    return psd
+
+
+def equivalent_bits(power_ratio: float) -> float:
+    """Number of bits equivalent to a noise-power ratio.
+
+    Halving the fractional word length multiplies the noise power by 4
+    (one bit is ``10*log10(4) ~ 6 dB``).  This helper converts a power
+    ratio into its equivalent bit count, which is how the paper defines the
+    "sub-one-bit accuracy" objective: a relative deviation ``Ed`` within
+    ``(-75 %, +300 %)`` corresponds to less than one bit.
+    """
+    if power_ratio <= 0:
+        raise ValueError("power_ratio must be positive")
+    return 0.5 * np.log2(power_ratio)

@@ -1,0 +1,159 @@
+"""Q-format (fixed-point data type) description.
+
+A fixed-point number is described here in the classical ``Q(m, n)``
+notation: *m* integer bits (excluding the sign bit when the format is
+signed) and *n* fractional bits.  The value of a word with integer mantissa
+``k`` is ``k * 2**-n``.
+
+The accuracy-evaluation techniques of the paper only care about the
+quantization *step* (``2**-n``) and, for overflow analysis, about the
+representable range; both are exposed as properties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class QFormat:
+    """Description of a fixed-point data type.
+
+    Parameters
+    ----------
+    integer_bits:
+        Number of bits devoted to the integer part, *excluding* the sign
+        bit for signed formats.  May be negative, which is occasionally
+        useful for signals known to be much smaller than one.
+    fractional_bits:
+        Number of bits devoted to the fractional part.  The quantization
+        step is ``2**-fractional_bits``.
+    signed:
+        Whether the format carries a sign bit (two's complement).
+
+    Examples
+    --------
+    >>> fmt = QFormat(integer_bits=2, fractional_bits=5)
+    >>> fmt.step
+    0.03125
+    >>> fmt.total_bits
+    8
+    >>> fmt.max_value
+    3.96875
+    >>> fmt.min_value
+    -4.0
+    """
+
+    integer_bits: int
+    fractional_bits: int
+    signed: bool = True
+
+    def __post_init__(self) -> None:
+        if self.fractional_bits < 0:
+            raise ValueError("fractional_bits must be non-negative, "
+                             f"got {self.fractional_bits}")
+        if self.total_bits <= 0:
+            raise ValueError(
+                "QFormat must contain at least one bit "
+                f"(integer_bits={self.integer_bits}, "
+                f"fractional_bits={self.fractional_bits}, signed={self.signed})")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def total_bits(self) -> int:
+        """Total word length, including the sign bit when signed."""
+        return self.integer_bits + self.fractional_bits + (1 if self.signed else 0)
+
+    @property
+    def step(self) -> float:
+        """Quantization step (weight of the least-significant bit)."""
+        return 2.0 ** (-self.fractional_bits)
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable value."""
+        return 2.0 ** self.integer_bits - self.step
+
+    @property
+    def min_value(self) -> float:
+        """Smallest representable value (0 for unsigned formats)."""
+        if self.signed:
+            return -(2.0 ** self.integer_bits)
+        return 0.0
+
+    @property
+    def max_mantissa(self) -> int:
+        """Largest integer mantissa representable in this format."""
+        return int(round(self.max_value / self.step))
+
+    @property
+    def min_mantissa(self) -> int:
+        """Smallest integer mantissa representable in this format."""
+        return int(round(self.min_value / self.step))
+
+    # ------------------------------------------------------------------
+    # Constructors and transformations
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_range(cls, low: float, high: float, fractional_bits: int,
+                   signed: bool | None = None) -> "QFormat":
+        """Build the narrowest format covering ``[low, high]``.
+
+        Parameters
+        ----------
+        low, high:
+            Range that must be representable.
+        fractional_bits:
+            Desired precision.
+        signed:
+            Force signedness; by default the format is signed whenever
+            ``low`` is negative.
+        """
+        if high < low:
+            raise ValueError(f"empty range [{low}, {high}]")
+        if signed is None:
+            signed = low < 0.0
+        magnitude = max(abs(low), abs(high))
+        step = 2.0 ** (-fractional_bits)
+        integer_bits = 0
+        # The largest representable positive value is 2**integer_bits - step,
+        # so the loop must account for the step as well.
+        while (2.0 ** integer_bits) - step < magnitude:
+            integer_bits += 1
+        if not signed and fractional_bits == 0 and integer_bits == 0:
+            # Guarantee at least one bit of storage for the degenerate
+            # all-zero range.
+            integer_bits = 1
+        return cls(integer_bits=integer_bits, fractional_bits=fractional_bits,
+                   signed=signed)
+
+    def with_fractional_bits(self, fractional_bits: int) -> "QFormat":
+        """Return a copy of this format with a different precision."""
+        return QFormat(self.integer_bits, fractional_bits, self.signed)
+
+    def widen(self, extra_integer_bits: int = 0,
+              extra_fractional_bits: int = 0) -> "QFormat":
+        """Return a format widened by the given number of bits."""
+        return QFormat(self.integer_bits + extra_integer_bits,
+                       self.fractional_bits + extra_fractional_bits,
+                       self.signed)
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies within the representable range."""
+        return self.min_value <= value <= self.max_value
+
+    def is_representable(self, value: float, tol: float = 1e-12) -> bool:
+        """Whether ``value`` lies exactly on the quantization grid."""
+        if not self.contains(value):
+            return False
+        mantissa = value / self.step
+        return abs(mantissa - round(mantissa)) <= tol
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        sign = "s" if self.signed else "u"
+        return f"Q{sign}({self.integer_bits},{self.fractional_bits})"

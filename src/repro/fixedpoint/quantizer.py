@@ -1,0 +1,159 @@
+"""Vectorized quantization of floating-point signals to a fixed-point grid.
+
+The quantizer is the elementary error source of the whole study: every
+fixed-point operation in a signal-flow graph is modelled as the exact
+(infinite-precision) operation followed by a quantizer on its output.  The
+fixed-point *simulation* method applies these quantizers sample by sample;
+the analytical methods replace each of them by an additive noise source
+whose first two moments (and PSD) are given by
+:mod:`repro.fixedpoint.noise_model`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fixedpoint.qformat import QFormat
+
+
+class RoundingMode(str, enum.Enum):
+    """Supported rounding modes.
+
+    * ``ROUND`` — round to nearest, ties away from zero upward
+      (MATLAB ``round`` semantics, the mode used in the paper's
+      experiments).
+    * ``TRUNCATE`` — truncation towards minus infinity (two's-complement
+      truncation, i.e. ``floor``).
+    * ``CONVERGENT`` — round to nearest, ties to even (unbiased).
+    """
+
+    ROUND = "round"
+    TRUNCATE = "truncate"
+    CONVERGENT = "convergent"
+
+
+class OverflowMode(str, enum.Enum):
+    """Supported overflow handling modes.
+
+    * ``SATURATE`` — clip to the representable range.
+    * ``WRAP`` — two's-complement wrap-around.
+    * ``NONE`` — assume range analysis already guarantees no overflow
+      (values outside the range are left untouched).  This is the mode
+      used throughout the paper, which focuses purely on precision
+      (fractional) errors.
+    """
+
+    SATURATE = "saturate"
+    WRAP = "wrap"
+    NONE = "none"
+
+
+def _round_half_up(mantissa: np.ndarray) -> np.ndarray:
+    """Round to nearest integer with ties going towards +infinity."""
+    return np.floor(mantissa + 0.5)
+
+
+def _round_convergent(mantissa: np.ndarray) -> np.ndarray:
+    """Round to nearest integer with ties going to the even integer."""
+    return np.rint(mantissa)
+
+
+def _apply_rounding(mantissa: np.ndarray, mode: RoundingMode) -> np.ndarray:
+    if mode is RoundingMode.ROUND:
+        return _round_half_up(mantissa)
+    if mode is RoundingMode.TRUNCATE:
+        return np.floor(mantissa)
+    if mode is RoundingMode.CONVERGENT:
+        return _round_convergent(mantissa)
+    raise ValueError(f"unknown rounding mode {mode!r}")
+
+
+def _apply_overflow(mantissa: np.ndarray, fmt: QFormat,
+                    mode: OverflowMode) -> np.ndarray:
+    if mode is OverflowMode.NONE:
+        return mantissa
+    lo = fmt.min_mantissa
+    hi = fmt.max_mantissa
+    if mode is OverflowMode.SATURATE:
+        return np.clip(mantissa, lo, hi)
+    if mode is OverflowMode.WRAP:
+        span = hi - lo + 1
+        return lo + np.mod(mantissa - lo, span)
+    raise ValueError(f"unknown overflow mode {mode!r}")
+
+
+@dataclass(frozen=True)
+class Quantizer:
+    """A quantizer mapping real values onto a :class:`QFormat` grid.
+
+    Parameters
+    ----------
+    fmt:
+        Target fixed-point format.
+    rounding:
+        Rounding mode applied to the fractional part.
+    overflow:
+        Overflow handling applied to the integer part.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> q = Quantizer(QFormat(2, 3), rounding=RoundingMode.TRUNCATE)
+    >>> q(np.array([0.3, -0.3]))
+    array([ 0.25 , -0.375])
+    """
+
+    fmt: QFormat
+    rounding: RoundingMode = RoundingMode.ROUND
+    overflow: OverflowMode = OverflowMode.NONE
+
+    def __call__(self, values: np.ndarray) -> np.ndarray:
+        return self.quantize(values)
+
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        """Quantize ``values`` and return the result as floating point."""
+        values = np.asarray(values, dtype=float)
+        mantissa = values / self.fmt.step
+        mantissa = _apply_rounding(mantissa, self.rounding)
+        mantissa = _apply_overflow(mantissa, self.fmt, self.overflow)
+        return mantissa * self.fmt.step
+
+    def error(self, values: np.ndarray) -> np.ndarray:
+        """Quantization error ``quantize(values) - values``."""
+        values = np.asarray(values, dtype=float)
+        return self.quantize(values) - values
+
+    @property
+    def step(self) -> float:
+        """Quantization step of the target format."""
+        return self.fmt.step
+
+
+def quantize(values: np.ndarray, fractional_bits: int,
+             rounding: RoundingMode | str = RoundingMode.ROUND,
+             overflow: OverflowMode | str = OverflowMode.NONE,
+             integer_bits: int = 15, signed: bool = True) -> np.ndarray:
+    """Convenience one-shot quantization.
+
+    Parameters
+    ----------
+    values:
+        Input samples (any shape).
+    fractional_bits:
+        Number of fractional bits of the target format.
+    rounding, overflow:
+        Quantization behaviour, see :class:`RoundingMode` and
+        :class:`OverflowMode`.
+    integer_bits, signed:
+        Integer part of the target format; only relevant when overflow
+        handling is enabled.
+    """
+    quantizer = Quantizer(
+        QFormat(integer_bits, fractional_bits, signed),
+        rounding=RoundingMode(rounding),
+        overflow=OverflowMode(overflow),
+    )
+    return quantizer.quantize(values)

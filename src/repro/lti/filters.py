@@ -1,0 +1,208 @@
+"""Stateful FIR / IIR filter implementations.
+
+Two execution modes are provided for every filter:
+
+* ``process`` — double-precision reference (the "infinite precision"
+  baseline of the paper; IEEE double precision is used as reference just
+  like in Section II).
+* ``process_fixed_point`` — bit-true fixed-point execution where the
+  coefficients, the products/accumulator output and (for IIR) the
+  recirculated output are quantized.  The difference between both modes is
+  the quantization error measured by the simulation-based evaluation
+  method.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fixedpoint.quantizer import Quantizer, RoundingMode
+from repro.fixedpoint.qformat import QFormat
+from repro.lti.transfer_function import TransferFunction
+
+
+@dataclass(frozen=True)
+class FixedPointFilterConfig:
+    """Fixed-point configuration of a filter block.
+
+    Attributes
+    ----------
+    data_fractional_bits:
+        Fractional bits of the data path (products are accumulated in full
+        precision and the result is quantized back to this precision).
+    coefficient_fractional_bits:
+        Fractional bits used to store the coefficients; defaults to the
+        data precision when ``None``.
+    rounding:
+        Rounding mode of the data-path quantizers.
+    quantize_input:
+        Whether the block re-quantizes its input signal before use.
+    """
+
+    data_fractional_bits: int
+    coefficient_fractional_bits: int | None = None
+    rounding: RoundingMode = RoundingMode.ROUND
+    quantize_input: bool = False
+
+    @property
+    def coeff_bits(self) -> int:
+        """Effective coefficient precision."""
+        if self.coefficient_fractional_bits is None:
+            return self.data_fractional_bits
+        return self.coefficient_fractional_bits
+
+    def data_quantizer(self, integer_bits: int = 15) -> Quantizer:
+        """Quantizer used on the data path."""
+        return Quantizer(QFormat(integer_bits, self.data_fractional_bits),
+                         rounding=self.rounding)
+
+    def coefficient_quantizer(self, integer_bits: int = 15) -> Quantizer:
+        """Quantizer used on the coefficients.
+
+        Coefficients are design-time constants: they are always converted
+        with round-to-nearest regardless of the data-path rounding mode, so
+        that the reference (double-precision, quantized-coefficient) system
+        and the fixed-point system share exactly the same coefficients.
+        """
+        return Quantizer(QFormat(integer_bits, self.coeff_bits),
+                         rounding=RoundingMode.ROUND)
+
+
+class FirFilter:
+    """Finite-impulse-response filter.
+
+    Parameters
+    ----------
+    taps:
+        Impulse response (filter coefficients).
+    """
+
+    def __init__(self, taps):
+        taps = np.atleast_1d(np.asarray(taps, dtype=float))
+        if taps.ndim != 1 or len(taps) == 0:
+            raise ValueError("taps must be a non-empty 1-D array")
+        self.taps = taps
+
+    @property
+    def num_taps(self) -> int:
+        """Number of coefficients."""
+        return len(self.taps)
+
+    def transfer_function(self) -> TransferFunction:
+        """Transfer function of the filter."""
+        return TransferFunction.fir(self.taps)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def process(self, x: np.ndarray) -> np.ndarray:
+        """Double-precision filtering (same length as the input)."""
+        x = np.asarray(x, dtype=float)
+        return np.convolve(x, self.taps)[:len(x)]
+
+    def process_fixed_point(self, x: np.ndarray,
+                            config: FixedPointFilterConfig) -> np.ndarray:
+        """Fixed-point filtering.
+
+        The coefficients are quantized to the coefficient precision, the
+        convolution is computed exactly on the quantized operands and the
+        result is quantized back to the data precision — i.e. a single
+        quantization at the accumulator output, the standard DSP MAC
+        model assumed by the paper's noise-source placement.
+        """
+        x = np.asarray(x, dtype=float)
+        if config.quantize_input:
+            x = config.data_quantizer().quantize(x)
+        quantized_taps = config.coefficient_quantizer().quantize(self.taps)
+        exact = np.convolve(x, quantized_taps)[:len(x)]
+        return config.data_quantizer().quantize(exact)
+
+
+class IirFilter:
+    """Infinite-impulse-response filter in direct form I.
+
+    Parameters
+    ----------
+    b, a:
+        Numerator and denominator coefficients; ``a[0]`` must equal 1 (the
+        coefficients are normalized if it does not).
+    """
+
+    def __init__(self, b, a):
+        b = np.atleast_1d(np.asarray(b, dtype=float))
+        a = np.atleast_1d(np.asarray(a, dtype=float))
+        if a[0] == 0:
+            raise ValueError("a[0] must be non-zero")
+        self.b = b / a[0]
+        self.a = a / a[0]
+
+    @property
+    def order(self) -> int:
+        """Filter order."""
+        return max(len(self.b), len(self.a)) - 1
+
+    def transfer_function(self) -> TransferFunction:
+        """Transfer function of the filter."""
+        return TransferFunction(self.b, self.a)
+
+    def noise_transfer_function(self) -> TransferFunction:
+        """Transfer function from the output quantizer to the output.
+
+        In direct form I the output of the multiply-accumulate tree is
+        quantized before being stored into the recursive delay line, so the
+        quantization error injected there is filtered by ``1 / A(z)``.
+        """
+        return TransferFunction([1.0], self.a)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def process(self, x: np.ndarray) -> np.ndarray:
+        """Double-precision filtering."""
+        from scipy.signal import lfilter
+        return lfilter(self.b, self.a, np.asarray(x, dtype=float))
+
+    def process_fixed_point(self, x: np.ndarray,
+                            config: FixedPointFilterConfig) -> np.ndarray:
+        """Bit-true fixed-point filtering (direct form I).
+
+        The accumulator holds the exact sum of quantized-coefficient
+        products; the accumulator output is quantized to the data
+        precision before entering the recursive delay line, so the
+        quantization error recirculates through ``1 / A(z)`` exactly as the
+        analytical model assumes.
+        """
+        x = np.asarray(x, dtype=float)
+        if config.quantize_input:
+            x = config.data_quantizer().quantize(x)
+        coeff_q = config.coefficient_quantizer()
+        b = coeff_q.quantize(self.b)
+        a = coeff_q.quantize(self.a)
+        data_q = config.data_quantizer()
+        step = data_q.fmt.step
+
+        # The feed-forward part only involves the (fixed) input samples, so
+        # it can be accumulated exactly outside the recursion; only the
+        # recursive part needs the sample-by-sample loop because each output
+        # is quantized before being fed back.
+        feed_forward = np.convolve(x, b)[:len(x)]
+        y = np.zeros(len(x))
+        feedback_taps = a[1:]
+        na = len(feedback_taps)
+        rounding = config.rounding
+        floor = np.floor
+        for n in range(len(x)):
+            acc = feed_forward[n]
+            history_start = max(0, n - na)
+            history = y[history_start:n][::-1]
+            if len(history):
+                acc -= float(np.dot(feedback_taps[:len(history)], history))
+            if rounding is RoundingMode.TRUNCATE:
+                y[n] = floor(acc / step) * step
+            elif rounding is RoundingMode.ROUND:
+                y[n] = floor(acc / step + 0.5) * step
+            else:
+                y[n] = np.rint(acc / step) * step
+        return y

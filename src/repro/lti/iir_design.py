@@ -1,0 +1,195 @@
+"""IIR filter design from analog prototypes.
+
+The IIR half of the Table-I filter bank uses recursive filters of orders 2
+to 10.  This module designs digital Butterworth and Chebyshev type-I
+filters the classical way:
+
+1. compute the analog low-pass prototype poles (and zeros for Chebyshev),
+2. apply an analog frequency transform (low-pass, high-pass or band-pass),
+3. map to the z-domain with the bilinear transform (with pre-warping).
+
+Everything is built from numpy polynomial arithmetic; scipy is not
+required, which keeps the substrate self-contained and easy to reason
+about in the unit tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+# ----------------------------------------------------------------------
+# Analog low-pass prototypes (cutoff 1 rad/s)
+# ----------------------------------------------------------------------
+def butterworth_prototype(order: int) -> tuple[np.ndarray, np.ndarray, float]:
+    """Poles, zeros and gain of the analog Butterworth prototype."""
+    _check_order(order)
+    k = np.arange(1, order + 1)
+    theta = np.pi * (2.0 * k - 1.0) / (2.0 * order) + np.pi / 2.0
+    poles = np.exp(1j * theta)
+    zeros = np.array([], dtype=complex)
+    gain = np.real(np.prod(-poles))
+    return zeros, poles, gain
+
+
+def chebyshev1_prototype(order: int, ripple_db: float = 1.0
+                         ) -> tuple[np.ndarray, np.ndarray, float]:
+    """Poles, zeros and gain of the analog Chebyshev type-I prototype.
+
+    Parameters
+    ----------
+    order:
+        Filter order.
+    ripple_db:
+        Pass-band ripple in decibels.
+    """
+    _check_order(order)
+    if ripple_db <= 0:
+        raise ValueError(f"ripple_db must be positive, got {ripple_db}")
+    epsilon = np.sqrt(10.0 ** (ripple_db / 10.0) - 1.0)
+    mu = np.arcsinh(1.0 / epsilon) / order
+    k = np.arange(1, order + 1)
+    theta = np.pi * (2.0 * k - 1.0) / (2.0 * order)
+    poles = -np.sinh(mu) * np.sin(theta) + 1j * np.cosh(mu) * np.cos(theta)
+    zeros = np.array([], dtype=complex)
+    gain = np.real(np.prod(-poles))
+    if order % 2 == 0:
+        gain /= np.sqrt(1.0 + epsilon ** 2)
+    return zeros, poles, gain
+
+
+# ----------------------------------------------------------------------
+# Analog frequency transforms
+# ----------------------------------------------------------------------
+def _lp_to_lp(zeros, poles, gain, warped):
+    degree = len(poles) - len(zeros)
+    zeros = zeros * warped
+    poles = poles * warped
+    gain = gain * warped ** degree
+    return zeros, poles, gain
+
+
+def _lp_to_hp(zeros, poles, gain, warped):
+    degree = len(poles) - len(zeros)
+    new_zeros = warped / zeros if len(zeros) else np.array([], dtype=complex)
+    new_poles = warped / poles
+    gain = gain * np.real(np.prod(-zeros) / np.prod(-poles)) if len(zeros) else \
+        gain * np.real(1.0 / np.prod(-poles))
+    new_zeros = np.concatenate([new_zeros, np.zeros(degree, dtype=complex)])
+    return new_zeros, new_poles, gain
+
+
+def _lp_to_bp(zeros, poles, gain, warped_center, bandwidth):
+    degree = len(poles) - len(zeros)
+    zeros_scaled = zeros * bandwidth / 2.0
+    poles_scaled = poles * bandwidth / 2.0
+    new_zeros = np.concatenate([
+        zeros_scaled + np.sqrt(zeros_scaled ** 2 - warped_center ** 2),
+        zeros_scaled - np.sqrt(zeros_scaled ** 2 - warped_center ** 2),
+    ]) if len(zeros) else np.array([], dtype=complex)
+    new_poles = np.concatenate([
+        poles_scaled + np.sqrt(poles_scaled ** 2 - warped_center ** 2),
+        poles_scaled - np.sqrt(poles_scaled ** 2 - warped_center ** 2),
+    ])
+    new_zeros = np.concatenate([new_zeros, np.zeros(degree, dtype=complex)])
+    gain = gain * bandwidth ** degree
+    return new_zeros, new_poles, gain
+
+
+# ----------------------------------------------------------------------
+# Bilinear transform
+# ----------------------------------------------------------------------
+def _bilinear_zpk(zeros, poles, gain, sample_rate: float = 2.0):
+    """Map analog zeros/poles/gain to digital via the bilinear transform."""
+    fs2 = 2.0 * sample_rate
+    degree = len(poles) - len(zeros)
+    digital_zeros = (fs2 + zeros) / (fs2 - zeros) if len(zeros) else \
+        np.array([], dtype=complex)
+    digital_poles = (fs2 + poles) / (fs2 - poles)
+    # Analog zeros at infinity map to z = -1.
+    digital_zeros = np.concatenate([digital_zeros, -np.ones(degree, dtype=complex)])
+    numerator = np.prod(fs2 - zeros) if len(zeros) else 1.0
+    denominator = np.prod(fs2 - poles)
+    digital_gain = gain * np.real(numerator / denominator)
+    return digital_zeros, digital_poles, digital_gain
+
+
+def _zpk_to_tf(zeros, poles, gain) -> tuple[np.ndarray, np.ndarray]:
+    """Convert zeros/poles/gain to transfer-function coefficients."""
+    b = np.real(gain * np.poly(zeros)) if len(zeros) else np.array([gain])
+    a = np.real(np.poly(poles))
+    return np.atleast_1d(b), np.atleast_1d(a)
+
+
+# ----------------------------------------------------------------------
+# Public API
+# ----------------------------------------------------------------------
+def design_iir_filter(order: int, cutoff, kind: str = "lowpass",
+                      family: str = "butterworth",
+                      ripple_db: float = 1.0) -> tuple[np.ndarray, np.ndarray]:
+    """Design a digital IIR filter.
+
+    Parameters
+    ----------
+    order:
+        Prototype order.  For band-pass designs the resulting digital
+        filter has order ``2 * order``.
+    cutoff:
+        Normalized cutoff frequency (1.0 = Nyquist) for low-pass /
+        high-pass designs, or a pair ``(low, high)`` for band-pass.
+    kind:
+        ``lowpass``, ``highpass`` or ``bandpass``.
+    family:
+        ``butterworth`` or ``chebyshev1``.
+    ripple_db:
+        Pass-band ripple for Chebyshev designs.
+
+    Returns
+    -------
+    (b, a):
+        Numerator and denominator coefficients of the digital filter, with
+        ``a[0] == 1``.
+    """
+    family = family.lower()
+    if family == "butterworth":
+        zeros, poles, gain = butterworth_prototype(order)
+    elif family in ("chebyshev1", "chebyshev", "cheby1"):
+        zeros, poles, gain = chebyshev1_prototype(order, ripple_db=ripple_db)
+    else:
+        raise ValueError(f"unknown filter family {family!r}")
+
+    kind = kind.lower()
+    sample_rate = 2.0
+    if kind in ("lowpass", "highpass"):
+        cutoff = float(cutoff)
+        if not 0.0 < cutoff < 1.0:
+            raise ValueError(f"cutoff must be in (0, 1), got {cutoff}")
+        warped = 2.0 * sample_rate * np.tan(np.pi * cutoff / 2.0)
+        if kind == "lowpass":
+            zeros, poles, gain = _lp_to_lp(zeros, poles, gain, warped)
+        else:
+            zeros, poles, gain = _lp_to_hp(zeros, poles, gain, warped)
+    elif kind == "bandpass":
+        low, high = (float(cutoff[0]), float(cutoff[1]))
+        if not 0.0 < low < high < 1.0:
+            raise ValueError("band edges must satisfy 0 < low < high < 1, "
+                             f"got ({low}, {high})")
+        warped_low = 2.0 * sample_rate * np.tan(np.pi * low / 2.0)
+        warped_high = 2.0 * sample_rate * np.tan(np.pi * high / 2.0)
+        bandwidth = warped_high - warped_low
+        center = np.sqrt(warped_low * warped_high)
+        zeros, poles, gain = _lp_to_bp(zeros, poles, gain, center, bandwidth)
+    else:
+        raise ValueError(f"unknown filter kind {kind!r}")
+
+    zeros, poles, gain = _bilinear_zpk(zeros, poles, gain, sample_rate)
+    b, a = _zpk_to_tf(zeros, poles, gain)
+    # Normalize so that a[0] == 1.
+    b = b / a[0]
+    a = a / a[0]
+    return b, a
+
+
+def _check_order(order: int) -> None:
+    if order < 1:
+        raise ValueError(f"filter order must be at least 1, got {order}")

@@ -1,0 +1,170 @@
+"""Second-order-section (cascade) realization of IIR filters.
+
+Reference [10] of the paper (Jackson, 1970) is the classical roundoff-noise
+analysis of fixed-point digital filters realized *in cascade or parallel
+form*: factoring a high-order recursive filter into biquads changes where
+quantization noise is injected and how strongly each injection is amplified
+by the remaining sections, usually improving the noise behaviour
+dramatically compared to a monolithic direct form.
+
+This module provides the structural substrate for that study:
+
+* :func:`tf_to_sos` — factor ``(b, a)`` into second-order sections
+  (conjugate poles paired together, paired with the nearest zeros,
+  ordered by pole radius);
+* :func:`sos_to_tf` — recombine sections into a single transfer function;
+* :func:`build_sos_graph` — expand a cascade into a signal-flow graph of
+  biquad :class:`~repro.sfg.nodes.IirNode` blocks so that every accuracy
+  evaluator of :mod:`repro.analysis` applies unchanged;
+* the direct-form versus cascade comparison itself lives in
+  ``benchmarks/test_ablation_sos_cascade.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fixedpoint.quantizer import RoundingMode
+from repro.lti.transfer_function import TransferFunction
+
+# NOTE: the graph-building helpers import repro.sfg lazily inside the
+# functions; repro.lti sits below repro.sfg in the layering and a
+# module-level import would be circular.
+
+
+def _pair_conjugates(roots: np.ndarray) -> list[np.ndarray]:
+    """Group roots into pairs (conjugates together), padding with zeros."""
+    roots = np.asarray(roots, dtype=complex)
+    remaining = list(roots)
+    pairs: list[np.ndarray] = []
+    # Complex roots first, paired with their conjugates.
+    complex_roots = [r for r in remaining if abs(r.imag) > 1e-10]
+    real_roots = [r for r in remaining if abs(r.imag) <= 1e-10]
+    used = np.zeros(len(complex_roots), dtype=bool)
+    for index, root in enumerate(complex_roots):
+        if used[index]:
+            continue
+        used[index] = True
+        conjugate_index = None
+        for other in range(index + 1, len(complex_roots)):
+            if not used[other] and abs(complex_roots[other] - np.conj(root)) < 1e-8:
+                conjugate_index = other
+                break
+        if conjugate_index is None:
+            raise ValueError("complex roots must come in conjugate pairs")
+        used[conjugate_index] = True
+        pairs.append(np.array([root, np.conj(root)]))
+    # Real roots paired by magnitude (largest together).
+    real_roots.sort(key=lambda r: abs(r), reverse=True)
+    while len(real_roots) >= 2:
+        pairs.append(np.array([real_roots.pop(0), real_roots.pop(0)]))
+    if real_roots:
+        pairs.append(np.array([real_roots.pop(0), 0.0]))
+    return pairs
+
+
+def tf_to_sos(b, a) -> np.ndarray:
+    """Factor a transfer function into second-order sections.
+
+    Returns an array of shape ``(n_sections, 6)`` with rows
+    ``[b0, b1, b2, 1, a1, a2]`` whose cascade equals ``B(z)/A(z)``.  The
+    overall gain is folded into the first section.  Sections are ordered
+    by increasing pole radius (the standard low-noise ordering heuristic).
+    """
+    tf = TransferFunction(b, a)
+    poles = tf.poles()
+    zeros = tf.zeros()
+
+    pole_pairs = _pair_conjugates(poles) if len(poles) else []
+    zero_pairs = _pair_conjugates(zeros) if len(zeros) else []
+
+    n_sections = max(len(pole_pairs), len(zero_pairs), 1)
+    while len(pole_pairs) < n_sections:
+        pole_pairs.append(np.array([0.0, 0.0]))
+    while len(zero_pairs) < n_sections:
+        zero_pairs.append(np.array([0.0, 0.0]))
+
+    # Order pole pairs by radius and match each with the closest zero pair.
+    pole_pairs.sort(key=lambda pair: float(np.max(np.abs(pair))))
+    matched_zero_pairs: list[np.ndarray] = []
+    available = list(zero_pairs)
+    for pair in pole_pairs:
+        if not available:
+            matched_zero_pairs.append(np.array([0.0, 0.0]))
+            continue
+        distances = [float(np.abs(z[0] - pair[0])) for z in available]
+        best = int(np.argmin(distances))
+        matched_zero_pairs.append(available.pop(best))
+
+    gain = tf.b[0] if tf.b[0] != 0 else 1.0
+    # Recover the true overall gain from the leading coefficients.
+    gain = tf.b[np.argmax(np.abs(tf.b) > 0)] if np.any(tf.b != 0) else 1.0
+
+    sections = np.zeros((n_sections, 6))
+    for index, (zero_pair, pole_pair) in enumerate(
+            zip(matched_zero_pairs, pole_pairs)):
+        numerator = np.real(np.poly(zero_pair))
+        denominator = np.real(np.poly(pole_pair))
+        section_gain = gain if index == 0 else 1.0
+        sections[index, :3] = section_gain * numerator
+        sections[index, 3:] = denominator
+
+    # Exact overall-gain correction: match the DC (or Nyquist) response.
+    cascade = sos_to_tf(sections)
+    reference = tf.frequency_response(8)
+    realized = cascade.frequency_response(8)
+    mask = np.abs(realized) > 1e-9
+    if np.any(mask):
+        correction = np.real(reference[mask][0] / realized[mask][0])
+        if np.isfinite(correction) and correction != 0.0:
+            sections[0, :3] *= correction
+    return sections
+
+
+def sos_to_tf(sections: np.ndarray) -> TransferFunction:
+    """Recombine second-order sections into a single transfer function."""
+    sections = np.atleast_2d(np.asarray(sections, dtype=float))
+    if sections.shape[1] != 6:
+        raise ValueError("sections must have 6 columns [b0 b1 b2 a0 a1 a2]")
+    tf = TransferFunction.identity()
+    for row in sections:
+        tf = tf.cascade(TransferFunction(row[:3], row[3:]))
+    return tf
+
+
+def build_sos_graph(b, a, fractional_bits: int,
+                    rounding: RoundingMode | str = RoundingMode.ROUND,
+                    name: str = "sos-cascade"):
+    """Expand ``B(z)/A(z)`` into a cascade-of-biquads signal-flow graph.
+
+    Each biquad is an :class:`~repro.sfg.nodes.IirNode` with its own output
+    quantizer, so the accuracy evaluators see one noise source per section
+    shaped by the remaining sections — exactly the cascade noise model of
+    Jackson's analysis.
+    """
+    from repro.sfg.builder import SfgBuilder
+
+    sections = tf_to_sos(b, a)
+    builder = SfgBuilder(name)
+    previous = builder.input("x", fractional_bits=fractional_bits,
+                             rounding=rounding)
+    for index, row in enumerate(sections):
+        previous = builder.iir(f"biquad{index}", row[:3], row[3:], previous,
+                               fractional_bits=fractional_bits,
+                               rounding=rounding)
+    builder.output("y", previous)
+    return builder.build()
+
+
+def build_direct_form_graph(b, a, fractional_bits: int,
+                            rounding: RoundingMode | str = RoundingMode.ROUND,
+                            name: str = "direct-form"):
+    """The monolithic direct-form counterpart of :func:`build_sos_graph`."""
+    from repro.sfg.builder import SfgBuilder
+
+    builder = SfgBuilder(name)
+    x = builder.input("x", fractional_bits=fractional_bits, rounding=rounding)
+    node = builder.iir("filter", b, a, x, fractional_bits=fractional_bits,
+                       rounding=rounding)
+    builder.output("y", node)
+    return builder.build()

@@ -1,0 +1,34 @@
+"""Power-spectral-density substrate.
+
+The proposed accuracy-evaluation method (Section III of the paper)
+represents every quantization-noise signal by a *discrete PSD* sampled on
+``N_PSD`` frequency bins plus its (signed) mean, and propagates that
+representation through the blocks of the system.  This subpackage
+provides:
+
+* :class:`~repro.psd.spectrum.DiscretePsd` — the noise-spectrum container
+  and its algebra (filtering, addition, scaling, resampling, multirate
+  transformations).
+* :mod:`~repro.psd.estimation` — periodogram / Welch estimation of a
+  :class:`DiscretePsd` from sample data (used to build reference spectra
+  from simulation).
+* :mod:`~repro.psd.propagation` — the per-source tracked propagation used
+  when re-convergent (correlated) noise paths must be handled exactly
+  (Eqs. 12–13), and helpers shared by the evaluation engines.
+* :mod:`~repro.psd.cross_spectrum` — cross-spectral estimation between two
+  signals, used in tests to validate the correlated-path handling.
+"""
+
+from repro.psd.spectrum import DiscretePsd
+from repro.psd.estimation import estimate_psd, periodogram, welch
+from repro.psd.propagation import TrackedSpectrum
+from repro.psd.cross_spectrum import cross_power_spectrum
+
+__all__ = [
+    "DiscretePsd",
+    "estimate_psd",
+    "periodogram",
+    "welch",
+    "TrackedSpectrum",
+    "cross_power_spectrum",
+]

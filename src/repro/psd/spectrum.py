@@ -1,0 +1,239 @@
+"""Discrete power spectral density of a noise signal.
+
+Convention
+----------
+A :class:`DiscretePsd` over ``n`` bins describes a wide-sense-stationary
+noise signal by
+
+* ``ac`` — an array of ``n`` non-negative numbers, the power of the
+  zero-mean (random) part of the signal in each frequency bin.  Bin ``k``
+  corresponds to normalized frequency ``k / n`` on the full circle
+  ``[0, 1)``, so the array covers both positive and negative frequencies
+  and ``sum(ac) == variance``.
+* ``mean`` — the signed deterministic mean of the signal.
+
+The paper stores ``mu^2`` in the DC bin of its PSD (Eq. 10); here the mean
+is kept *signed* and separate so that means can cancel at adders and
+change sign through filters with negative DC gain — the squared value is
+only formed when the total power is requested.  The
+:attr:`DiscretePsd.values` property reconstructs the paper's convention
+(DC bin = ``mu^2 + ac[0]``) for display and comparison purposes.
+
+The total power is ``E[x^2] = mean**2 + sum(ac)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fixedpoint.noise_model import NoiseStats
+
+
+class DiscretePsd:
+    """Discrete PSD (plus signed mean) of a noise signal.
+
+    Parameters
+    ----------
+    ac:
+        Per-bin power of the zero-mean part of the signal (length
+        ``n_bins``, non-negative).
+    mean:
+        Signed mean of the signal.
+    """
+
+    __slots__ = ("ac", "mean")
+
+    def __init__(self, ac: np.ndarray, mean: float = 0.0):
+        ac = np.asarray(ac, dtype=float)
+        if ac.ndim != 1 or len(ac) < 1:
+            raise ValueError("ac must be a non-empty 1-D array")
+        if np.any(ac < -1e-15):
+            raise ValueError("PSD bins must be non-negative")
+        self.ac = np.clip(ac, 0.0, None)
+        self.mean = float(mean)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def zero(cls, n_bins: int) -> "DiscretePsd":
+        """The PSD of an identically-zero signal."""
+        _check_bins(n_bins)
+        return cls(np.zeros(n_bins), 0.0)
+
+    @classmethod
+    def white(cls, stats: NoiseStats, n_bins: int) -> "DiscretePsd":
+        """The PSD of a white noise with the given moments (Eq. 10).
+
+        The variance is spread uniformly over all bins; the mean is kept
+        signed and separate.
+        """
+        _check_bins(n_bins)
+        ac = np.full(n_bins, stats.variance / n_bins)
+        return cls(ac, stats.mean)
+
+    @classmethod
+    def from_moments(cls, mean: float, variance: float, n_bins: int) -> "DiscretePsd":
+        """White PSD from raw moments."""
+        return cls.white(NoiseStats(mean=mean, variance=variance), n_bins)
+
+    # ------------------------------------------------------------------
+    # Scalar summaries
+    # ------------------------------------------------------------------
+    @property
+    def n_bins(self) -> int:
+        """Number of frequency bins."""
+        return len(self.ac)
+
+    @property
+    def variance(self) -> float:
+        """Variance (power of the zero-mean part)."""
+        return float(np.sum(self.ac))
+
+    @property
+    def total_power(self) -> float:
+        """Total power ``E[x^2] = mean^2 + variance``."""
+        return self.mean ** 2 + self.variance
+
+    @property
+    def values(self) -> np.ndarray:
+        """PSD bins in the paper's convention (DC bin includes ``mean^2``)."""
+        values = self.ac.copy()
+        values[0] += self.mean ** 2
+        return values
+
+    def to_stats(self) -> NoiseStats:
+        """Collapse the PSD to its first two moments."""
+        return NoiseStats(mean=self.mean, variance=self.variance)
+
+    @property
+    def frequencies(self) -> np.ndarray:
+        """Normalized bin frequencies on ``[0, 1)`` (1.0 = sampling rate)."""
+        return np.arange(self.n_bins) / self.n_bins
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def copy(self) -> "DiscretePsd":
+        """An independent copy."""
+        return DiscretePsd(self.ac.copy(), self.mean)
+
+    def __add__(self, other: "DiscretePsd") -> "DiscretePsd":
+        """Sum of two *uncorrelated* noise signals (Eq. 14).
+
+        Variances (per bin) add; means add (they are deterministic, so
+        their combination is always exact).
+        """
+        if not isinstance(other, DiscretePsd):
+            return NotImplemented
+        if other.n_bins != self.n_bins:
+            raise ValueError(
+                f"cannot add PSDs with {self.n_bins} and {other.n_bins} bins")
+        return DiscretePsd(self.ac + other.ac, self.mean + other.mean)
+
+    def scaled(self, gain: float) -> "DiscretePsd":
+        """PSD after multiplication of the signal by a constant ``gain``."""
+        return DiscretePsd(self.ac * gain * gain, self.mean * gain)
+
+    def __mul__(self, gain):
+        if np.isscalar(gain):
+            return self.scaled(float(gain))
+        return NotImplemented
+
+    __rmul__ = __mul__
+
+    def filtered(self, frequency_response: np.ndarray) -> "DiscretePsd":
+        """PSD after passing through an LTI system (Eq. 11).
+
+        Parameters
+        ----------
+        frequency_response:
+            Complex (or magnitude) frequency response of the system sampled
+            on the same ``n_bins`` full-circle grid as this PSD.  The
+            squared magnitude shapes the AC part; the real part of the DC
+            response scales the mean.
+        """
+        response = np.asarray(frequency_response)
+        if len(response) != self.n_bins:
+            raise ValueError(
+                f"frequency response has {len(response)} points, expected "
+                f"{self.n_bins}")
+        magnitude_sq = np.abs(response) ** 2
+        dc_gain = float(np.real(response[0]))
+        return DiscretePsd(self.ac * magnitude_sq, self.mean * dc_gain)
+
+    def delayed(self) -> "DiscretePsd":
+        """PSD after a pure delay (unchanged — delays are all-pass)."""
+        return self.copy()
+
+    # ------------------------------------------------------------------
+    # Multirate transformations
+    # ------------------------------------------------------------------
+    def downsampled(self, factor: int = 2) -> "DiscretePsd":
+        """PSD after down-sampling by ``factor`` (spectral folding).
+
+        The per-sample power of a WSS signal is unchanged by decimation;
+        the AC spectrum folds (aliases) onto ``n_bins / factor`` bins and
+        the mean is preserved.
+        """
+        from repro.lti.multirate import downsample_psd
+        return DiscretePsd(downsample_psd(self.ac, factor), self.mean)
+
+    def upsampled(self, factor: int = 2) -> "DiscretePsd":
+        """PSD after zero-insertion up-sampling by ``factor`` (imaging).
+
+        Only one sample in ``factor`` is non-zero, so the per-sample power
+        and the mean both shrink by ``factor``; the AC spectrum is imaged
+        ``factor`` times.
+        """
+        from repro.lti.multirate import upsample_psd
+        return DiscretePsd(upsample_psd(self.ac, factor), self.mean / factor)
+
+    # ------------------------------------------------------------------
+    # Resampling of the frequency grid
+    # ------------------------------------------------------------------
+    def resampled(self, n_bins: int) -> "DiscretePsd":
+        """Re-express the PSD on a different number of bins.
+
+        Total power is preserved exactly.  Down-sampling the grid sums
+        groups of bins; up-sampling spreads each bin uniformly over the
+        new bins it covers.
+        """
+        _check_bins(n_bins)
+        if n_bins == self.n_bins:
+            return self.copy()
+        old_n = self.n_bins
+        if n_bins < old_n and old_n % n_bins == 0:
+            group = old_n // n_bins
+            ac = self.ac.reshape(n_bins, group).sum(axis=1)
+            return DiscretePsd(ac, self.mean)
+        if n_bins > old_n and n_bins % old_n == 0:
+            expand = n_bins // old_n
+            ac = np.repeat(self.ac / expand, expand)
+            return DiscretePsd(ac, self.mean)
+        # General case: piecewise-constant density re-binning.
+        edges_old = np.linspace(0.0, 1.0, old_n + 1)
+        edges_new = np.linspace(0.0, 1.0, n_bins + 1)
+        cumulative = np.concatenate([[0.0], np.cumsum(self.ac)])
+        cumulative_at = np.interp(edges_new, edges_old, cumulative)
+        ac = np.diff(cumulative_at)
+        return DiscretePsd(ac, self.mean)
+
+    # ------------------------------------------------------------------
+    # Comparisons
+    # ------------------------------------------------------------------
+    def allclose(self, other: "DiscretePsd", rtol: float = 1e-9,
+                 atol: float = 1e-12) -> bool:
+        """Whether two PSDs are numerically identical."""
+        return (self.n_bins == other.n_bins
+                and np.allclose(self.ac, other.ac, rtol=rtol, atol=atol)
+                and np.isclose(self.mean, other.mean, rtol=rtol, atol=atol))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"DiscretePsd(n_bins={self.n_bins}, mean={self.mean:.3e}, "
+                f"variance={self.variance:.3e})")
+
+
+def _check_bins(n_bins: int) -> None:
+    if n_bins < 1:
+        raise ValueError(f"a PSD needs at least one bin, got {n_bins}")

@@ -1,0 +1,71 @@
+"""Signal-flow-graph (SFG) infrastructure.
+
+The paper describes systems as signal-flow graphs "composed of boxes
+corresponding to sub-systems defined by their impulse response and
+delimited by additive quantization noise sources" (Section III-B).  This
+subpackage provides:
+
+* :mod:`~repro.sfg.nodes` — the node vocabulary (inputs, outputs, adders,
+  constant gains, delays, FIR / IIR / generic LTI blocks, decimators and
+  expanders) together with per-node word-length specifications, noise
+  generation and noise-propagation rules.
+* :mod:`~repro.sfg.graph` — the :class:`SignalFlowGraph` container with
+  validation, topological ordering and reachability queries.
+* :mod:`~repro.sfg.cycles` — cycle detection and feedback-loop collapsing,
+  the first step of the proposed method.
+* :mod:`~repro.sfg.executor` — dual-mode execution (double-precision
+  reference and bit-true fixed point) of an acyclic SFG.
+* :mod:`~repro.sfg.builder` — a small fluent API for assembling graphs in
+  examples and tests.
+"""
+
+from repro.sfg.nodes import (
+    AddNode,
+    DelayNode,
+    DownsampleNode,
+    GainNode,
+    FirNode,
+    IirNode,
+    InputNode,
+    LtiNode,
+    Node,
+    OutputNode,
+    QuantizationSpec,
+    UpsampleNode,
+)
+from repro.sfg.graph import Edge, SignalFlowGraph
+from repro.sfg.cycles import break_feedback_loops, find_cycles
+from repro.sfg.executor import ExecutionResult, SfgExecutor
+from repro.sfg.builder import SfgBuilder
+from repro.sfg.serialization import (
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    save_graph,
+)
+
+__all__ = [
+    "graph_to_dict",
+    "graph_from_dict",
+    "save_graph",
+    "load_graph",
+    "Node",
+    "InputNode",
+    "OutputNode",
+    "AddNode",
+    "GainNode",
+    "DelayNode",
+    "FirNode",
+    "IirNode",
+    "LtiNode",
+    "DownsampleNode",
+    "UpsampleNode",
+    "QuantizationSpec",
+    "Edge",
+    "SignalFlowGraph",
+    "find_cycles",
+    "break_feedback_loops",
+    "SfgExecutor",
+    "ExecutionResult",
+    "SfgBuilder",
+]

@@ -1,0 +1,173 @@
+"""Cycle detection and feedback-loop collapsing.
+
+The first step of the proposed method (Section III-B) is to "detect cycles
+in the SFG and break them to obtain an equivalent acyclic SFG using
+classical SFG transformations".  This module implements:
+
+* :func:`find_cycles` — enumeration of the elementary cycles of a graph
+  (depth-first search based, sufficient for the modest loop counts of
+  signal-processing SFGs);
+* :func:`break_feedback_loops` — collapsing of single-adder feedback loops
+  (an adder whose output goes through a chain of LTI nodes and returns to
+  one of its own inputs) into an equivalent :class:`~repro.sfg.nodes.IirNode`
+  whose transfer function is ``F(z) / (1 - s * F(z) G(z))`` where ``F`` is
+  the forward chain (identity here, the loop is collapsed around the
+  adder), ``G`` the feedback chain and ``s`` the sign of the feedback input.
+"""
+
+from __future__ import annotations
+
+from repro.lti.transfer_function import TransferFunction
+from repro.sfg.graph import SignalFlowGraph
+from repro.sfg.nodes import AddNode, IirNode, QuantizationSpec, _LtiMixin
+
+
+def find_cycles(graph: SignalFlowGraph) -> list[list[str]]:
+    """Enumerate elementary cycles of ``graph``.
+
+    Returns a list of cycles, each given as the list of node names in
+    traversal order (the first node is repeated implicitly).  Cycles that
+    are rotations of one another are reported once.
+    """
+    cycles: list[list[str]] = []
+    seen_signatures: set[tuple[str, ...]] = set()
+
+    def canonical(cycle: list[str]) -> tuple[str, ...]:
+        pivot = min(range(len(cycle)), key=lambda i: cycle[i])
+        return tuple(cycle[pivot:] + cycle[:pivot])
+
+    def depth_first(start: str, current: str, path: list[str],
+                    on_path: set[str]) -> None:
+        for edge in graph.successors(current):
+            nxt = edge.target
+            if nxt == start:
+                signature = canonical(path)
+                if signature not in seen_signatures:
+                    seen_signatures.add(signature)
+                    cycles.append(list(signature))
+            elif nxt not in on_path and nxt >= start:
+                # Only explore nodes not lexicographically before the start
+                # node to avoid re-finding the same cycle from every
+                # member; this keeps the search tractable.
+                path.append(nxt)
+                on_path.add(nxt)
+                depth_first(start, nxt, path, on_path)
+                on_path.remove(nxt)
+                path.pop()
+
+    for name in sorted(graph.nodes):
+        depth_first(name, name, [name], {name})
+    return cycles
+
+
+def _chain_transfer_function(graph: SignalFlowGraph,
+                             chain: list[str]) -> TransferFunction:
+    """Compose the transfer functions of a chain of single-input LTI nodes."""
+    tf = TransferFunction.identity()
+    for name in chain:
+        node = graph.node(name)
+        if not isinstance(node, _LtiMixin):
+            raise ValueError(
+                f"cannot collapse feedback through non-LTI node {name!r}")
+        tf = tf.cascade(node.transfer_function())
+    return tf
+
+
+def break_feedback_loops(graph: SignalFlowGraph) -> SignalFlowGraph:
+    """Collapse single-adder feedback loops into equivalent IIR nodes.
+
+    The transformation looks for cycles of the form::
+
+        adder -> lti_1 -> lti_2 -> ... -> lti_k -> (back to adder)
+
+    where the adder has exactly two inputs: one external and one coming
+    from the loop.  The whole loop is replaced by a single
+    :class:`~repro.sfg.nodes.IirNode` with transfer function
+    ``1 / (1 - s * G(z))`` followed by the forward chain ``G``'s
+    re-insertion is not needed because the loop output is taken at the
+    adder; consumers previously fed by intermediate loop nodes must tap
+    the collapsed node instead (a limitation documented in the tests).
+
+    The input graph is modified in place and also returned, so the call
+    can be chained.
+    """
+    while True:
+        cycles = find_cycles(graph)
+        if not cycles:
+            return graph
+        collapsed_any = False
+        for cycle in cycles:
+            adders = [name for name in cycle
+                      if isinstance(graph.node(name), AddNode)]
+            if len(adders) != 1:
+                continue
+            adder_name = adders[0]
+            adder = graph.node(adder_name)
+            # Rotate the cycle so it starts at the adder.
+            start = cycle.index(adder_name)
+            ordered = cycle[start:] + cycle[:start]
+            loop_chain = ordered[1:]
+            # Identify which adder input the loop drives and the external one.
+            loop_source = ordered[-1] if loop_chain else adder_name
+            incoming = graph.predecessors(adder_name)
+            loop_edges = [e for e in incoming if e.source == loop_source]
+            external_edges = [e for e in incoming if e.source != loop_source]
+            if len(loop_edges) != 1 or len(external_edges) != 1:
+                continue
+            feedback_sign = adder.signs[loop_edges[0].port]
+            external_edge = external_edges[0]
+            external_sign = adder.signs[external_edge.port]
+
+            try:
+                loop_tf = _chain_transfer_function(graph, loop_chain)
+            except ValueError:
+                continue
+
+            # Closed-loop transfer function from the external input to the
+            # adder output: external_sign / (1 - feedback_sign * G(z)).
+            open_loop = loop_tf.scaled(-feedback_sign)
+            closed = TransferFunction.gain(external_sign).feedback(open_loop) \
+                if False else _closed_loop(external_sign, feedback_sign, loop_tf)
+
+            replacement = IirNode(
+                name=f"{adder_name}__loop",
+                b=closed.b,
+                a=closed.a,
+                quantization=adder.quantization
+                if adder.quantization.enabled else QuantizationSpec(None),
+            )
+
+            consumers = graph.successors(adder_name)
+            source_of_external = external_edge.source
+            # Remove the loop nodes and the adder, then splice in the
+            # replacement node.
+            for name in [adder_name] + loop_chain:
+                graph.remove_node(name)
+            graph.add_node(replacement)
+            graph.connect(source_of_external, replacement.name, 0)
+            for edge in consumers:
+                if edge.target in graph.nodes:
+                    graph.connect(replacement.name, edge.target, edge.port)
+            collapsed_any = True
+            break
+        if not collapsed_any:
+            raise ValueError(
+                "graph contains cycles that are not single-adder LTI feedback "
+                "loops; they cannot be collapsed automatically")
+
+
+def _closed_loop(external_sign: float, feedback_sign: float,
+                 loop_tf: TransferFunction) -> TransferFunction:
+    """Transfer function ``external_sign / (1 - feedback_sign * G(z))``."""
+    import numpy as np
+
+    numerator = np.atleast_1d(np.array([external_sign], dtype=float))
+    # Denominator: A(z) = loop_a - feedback_sign * loop_b (aligned).
+    loop_b = loop_tf.b
+    loop_a = loop_tf.a
+    length = max(len(loop_a), len(loop_b))
+    a = np.zeros(length)
+    a[:len(loop_a)] += loop_a
+    a[:len(loop_b)] -= feedback_sign * loop_b
+    b = np.convolve(numerator, loop_a)
+    return TransferFunction(b, a)

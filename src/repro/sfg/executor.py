@@ -1,0 +1,117 @@
+"""Dual-mode execution of an acyclic signal-flow graph.
+
+The executor evaluates the graph in topological order, keeping one sample
+vector per node output.  Two modes are supported:
+
+* ``double`` — the infinite-precision reference (IEEE double precision);
+* ``fixed`` — bit-true fixed-point execution in which every node applies
+  its :class:`~repro.sfg.nodes.QuantizationSpec`.
+
+The simulation-based accuracy evaluation runs the same graph in both modes
+on the same stimulus and measures the output difference; see
+:class:`repro.analysis.simulation_method.SimulationEvaluator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sfg.graph import SignalFlowGraph
+from repro.sfg.nodes import InputNode
+
+
+@dataclass
+class ExecutionResult:
+    """Signals produced by one execution of a graph.
+
+    Attributes
+    ----------
+    outputs:
+        Mapping from output-node name to its signal.
+    signals:
+        Mapping from every node name to its output signal (only populated
+        when the executor is asked to keep intermediate signals).
+    """
+
+    outputs: dict[str, np.ndarray]
+    signals: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def output(self, name: str | None = None) -> np.ndarray:
+        """Return a single output signal.
+
+        Parameters
+        ----------
+        name:
+            Output-node name; may be omitted when the graph has exactly
+            one output.
+        """
+        if name is None:
+            if len(self.outputs) != 1:
+                raise ValueError(
+                    "graph has several outputs; specify which one to read "
+                    f"among {sorted(self.outputs)}")
+            return next(iter(self.outputs.values()))
+        return self.outputs[name]
+
+
+class SfgExecutor:
+    """Executes a validated, acyclic :class:`SignalFlowGraph`."""
+
+    def __init__(self, graph: SignalFlowGraph):
+        graph.validate()
+        self.graph = graph
+        self._order = graph.topological_order()
+
+    def run(self, inputs: dict[str, np.ndarray], mode: str = "double",
+            keep_signals: bool = False) -> ExecutionResult:
+        """Execute the graph on the given stimulus.
+
+        Parameters
+        ----------
+        inputs:
+            Mapping from input-node name to its sample vector.
+        mode:
+            ``double`` for the infinite-precision reference or ``fixed``
+            for bit-true fixed-point execution.
+        keep_signals:
+            Whether to retain every intermediate node output in the
+            result (useful for debugging and for block-level validation
+            tests).
+        """
+        if mode not in ("double", "fixed"):
+            raise ValueError(f"unknown execution mode {mode!r}")
+        missing = set(self.graph.input_names()) - set(inputs)
+        if missing:
+            raise ValueError(f"missing stimulus for input node(s) {sorted(missing)}")
+
+        signals: dict[str, np.ndarray] = {}
+        for name in self._order:
+            node = self.graph.node(name)
+            if isinstance(node, InputNode):
+                stimulus = np.asarray(inputs[name], dtype=float)
+                if mode == "fixed" and node.quantization.enabled:
+                    stimulus = node.quantization.quantizer().quantize(stimulus)
+                signals[name] = stimulus
+                continue
+            incoming = self.graph.predecessors(name)
+            node_inputs = [signals[edge.source] for edge in incoming]
+            if mode == "double":
+                signals[name] = node.simulate(node_inputs)
+            else:
+                signals[name] = node.simulate_fixed(node_inputs)
+
+        outputs = {name: signals[name] for name in self.graph.output_names()}
+        return ExecutionResult(
+            outputs=outputs,
+            signals=signals if keep_signals else {},
+        )
+
+    def run_error(self, inputs: dict[str, np.ndarray],
+                  output: str | None = None) -> np.ndarray:
+        """Error signal (fixed-point minus double) at one output."""
+        reference = self.run(inputs, mode="double").output(output)
+        fixed = self.run(inputs, mode="fixed").output(output)
+        length = min(len(reference), len(fixed))
+        return fixed[:length] - reference[:length]

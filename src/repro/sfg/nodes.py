@@ -1,0 +1,516 @@
+"""Node vocabulary of the signal-flow graph.
+
+Every node type bundles four views of the same sub-system, one per
+evaluation engine:
+
+1. **double-precision simulation** — :meth:`Node.simulate`;
+2. **fixed-point simulation** — :meth:`Node.simulate_fixed`, used by the
+   reference (Monte-Carlo) evaluation method;
+3. **moment propagation** — :meth:`Node.propagate_stats`, the PSD-agnostic
+   rule that only carries ``(mu, sigma^2)`` across the node;
+4. **PSD propagation** — :meth:`Node.propagate_psd` (proposed method,
+   Eq. 11/14) and :meth:`Node.propagate_tracked` (correlation-exact
+   variant used by the flat frequency-domain engine).
+
+Nodes that perform arithmetic own a :class:`QuantizationSpec`; in fixed
+point their output is re-quantized according to that spec and the
+corresponding additive noise source is returned by
+:meth:`Node.generated_noise`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fixedpoint.noise_model import NoiseStats, quantization_noise_stats
+from repro.fixedpoint.quantizer import Quantizer, RoundingMode
+from repro.fixedpoint.qformat import QFormat
+from repro.lti.filters import FirFilter, FixedPointFilterConfig, IirFilter
+from repro.lti.transfer_function import TransferFunction
+from repro.psd.spectrum import DiscretePsd
+from repro.psd.propagation import TrackedSpectrum
+
+
+@dataclass(frozen=True)
+class QuantizationSpec:
+    """Word-length specification of a node's output.
+
+    Attributes
+    ----------
+    fractional_bits:
+        Fractional word length of the node output; ``None`` disables
+        quantization (the node computes in full precision).
+    rounding:
+        Rounding mode of the output quantizer.
+    coefficient_fractional_bits:
+        Precision of the node's constant coefficients (gains, filter
+        taps); defaults to ``fractional_bits``.
+    input_fractional_bits:
+        Precision of the grid the quantizer input lives on, used to refine
+        the noise model for re-quantization; ``None`` means the input is
+        treated as continuous-amplitude (the usual, conservative PQN
+        assumption).
+    """
+
+    fractional_bits: int | None
+    rounding: RoundingMode = RoundingMode.ROUND
+    coefficient_fractional_bits: int | None = None
+    input_fractional_bits: int | None = None
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this spec actually quantizes anything."""
+        return self.fractional_bits is not None
+
+    @property
+    def coeff_bits(self) -> int | None:
+        """Effective coefficient precision."""
+        if self.coefficient_fractional_bits is None:
+            return self.fractional_bits
+        return self.coefficient_fractional_bits
+
+    def quantizer(self, integer_bits: int = 15) -> Quantizer:
+        """Data-path quantizer described by this spec."""
+        if not self.enabled:
+            raise ValueError("cannot build a quantizer from a disabled spec")
+        return Quantizer(QFormat(integer_bits, self.fractional_bits),
+                         rounding=self.rounding)
+
+    def noise_stats(self) -> NoiseStats:
+        """PQN-model moments of the noise injected by this quantizer."""
+        if not self.enabled:
+            return NoiseStats(0.0, 0.0)
+        return quantization_noise_stats(
+            self.fractional_bits,
+            rounding=self.rounding,
+            input_fractional_bits=self.input_fractional_bits,
+        )
+
+    def with_fractional_bits(self, fractional_bits: int | None) -> "QuantizationSpec":
+        """Copy of the spec with a different data word length."""
+        return QuantizationSpec(
+            fractional_bits=fractional_bits,
+            rounding=self.rounding,
+            coefficient_fractional_bits=self.coefficient_fractional_bits,
+            input_fractional_bits=self.input_fractional_bits,
+        )
+
+
+_NO_QUANTIZATION = QuantizationSpec(fractional_bits=None)
+
+
+class Node:
+    """Base class of every SFG node."""
+
+    def __init__(self, name: str, num_inputs: int,
+                 quantization: QuantizationSpec | None = None):
+        if not name:
+            raise ValueError("node name must be non-empty")
+        if num_inputs < 0:
+            raise ValueError("num_inputs must be non-negative")
+        self.name = name
+        self.num_inputs = num_inputs
+        self.quantization = quantization or _NO_QUANTIZATION
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def simulate(self, inputs: list[np.ndarray]) -> np.ndarray:
+        """Double-precision behaviour of the node."""
+        raise NotImplementedError
+
+    def simulate_fixed(self, inputs: list[np.ndarray]) -> np.ndarray:
+        """Fixed-point behaviour of the node.
+
+        The default implementation runs the double-precision behaviour on
+        the (already quantized) inputs and re-quantizes the output
+        according to :attr:`quantization`.  Nodes with internal state that
+        must be quantized inside a recursion (IIR filters) override this.
+        """
+        output = self.simulate(inputs)
+        if self.quantization.enabled:
+            output = self.quantization.quantizer().quantize(output)
+        return output
+
+    # ------------------------------------------------------------------
+    # Noise generation
+    # ------------------------------------------------------------------
+    def generated_noise(self) -> NoiseStats:
+        """Moments of the quantization noise injected at this node's output."""
+        return self.quantization.noise_stats()
+
+    # ------------------------------------------------------------------
+    # Analytical propagation
+    # ------------------------------------------------------------------
+    def propagate_stats(self, inputs: list[NoiseStats]) -> NoiseStats:
+        """Propagate input-noise moments blindly (PSD-agnostic rule)."""
+        raise NotImplementedError
+
+    def propagate_psd(self, inputs: list[DiscretePsd],
+                      n_bins: int) -> DiscretePsd:
+        """Propagate input-noise PSDs (proposed method, Eqs. 11 and 14)."""
+        raise NotImplementedError
+
+    def propagate_tracked(self, inputs: list[TrackedSpectrum],
+                          n_bins: int) -> TrackedSpectrum:
+        """Propagate per-source tracked spectra (correlation-exact rule)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class _LtiMixin:
+    """Shared propagation rules for single-input LTI nodes."""
+
+    def transfer_function(self) -> TransferFunction:
+        raise NotImplementedError
+
+    def _effective_transfer_function(self) -> TransferFunction:
+        """Transfer function with quantized coefficients when applicable."""
+        return self.transfer_function()
+
+    def propagate_stats(self, inputs: list[NoiseStats]) -> NoiseStats:
+        (stats,) = inputs
+        tf = self._effective_transfer_function()
+        variance = stats.variance * tf.energy()
+        mean = stats.mean * tf.coefficient_sum()
+        return NoiseStats(mean=mean, variance=variance)
+
+    def propagate_psd(self, inputs: list[DiscretePsd],
+                      n_bins: int) -> DiscretePsd:
+        # The input PSD may live on fewer bins than the system-level n_bins
+        # when the signal has been decimated upstream; the block response
+        # is sampled on the input's own grid (normalized to its rate).
+        (psd,) = inputs
+        response = self._effective_transfer_function().frequency_response(psd.n_bins)
+        return psd.filtered(response)
+
+    def propagate_tracked(self, inputs: list[TrackedSpectrum],
+                          n_bins: int) -> TrackedSpectrum:
+        (tracked,) = inputs
+        response = self._effective_transfer_function().frequency_response(n_bins)
+        return tracked.filtered(response)
+
+
+class InputNode(Node):
+    """External input of the system.
+
+    In fixed-point mode the input signal is quantized to the node's word
+    length, which is where the "input quantization noise" of the paper's
+    experiments enters the system.
+    """
+
+    def __init__(self, name: str, quantization: QuantizationSpec | None = None):
+        super().__init__(name, num_inputs=0, quantization=quantization)
+
+    def simulate(self, inputs: list[np.ndarray]) -> np.ndarray:
+        raise RuntimeError("InputNode values are supplied by the executor")
+
+    def propagate_stats(self, inputs: list[NoiseStats]) -> NoiseStats:
+        return NoiseStats(0.0, 0.0)
+
+    def propagate_psd(self, inputs: list[DiscretePsd], n_bins: int) -> DiscretePsd:
+        return DiscretePsd.zero(n_bins)
+
+    def propagate_tracked(self, inputs: list[TrackedSpectrum],
+                          n_bins: int) -> TrackedSpectrum:
+        return TrackedSpectrum.zero(n_bins)
+
+
+class OutputNode(Node):
+    """External output of the system (identity pass-through)."""
+
+    def __init__(self, name: str):
+        super().__init__(name, num_inputs=1)
+
+    def simulate(self, inputs: list[np.ndarray]) -> np.ndarray:
+        (x,) = inputs
+        return np.asarray(x, dtype=float)
+
+    def propagate_stats(self, inputs: list[NoiseStats]) -> NoiseStats:
+        (stats,) = inputs
+        return stats
+
+    def propagate_psd(self, inputs: list[DiscretePsd], n_bins: int) -> DiscretePsd:
+        (psd,) = inputs
+        return psd.copy()
+
+    def propagate_tracked(self, inputs: list[TrackedSpectrum],
+                          n_bins: int) -> TrackedSpectrum:
+        (tracked,) = inputs
+        return tracked
+
+
+class AddNode(Node):
+    """N-ary adder / subtractor with unit (or signed-unit) input gains."""
+
+    def __init__(self, name: str, num_inputs: int = 2,
+                 signs: list[float] | None = None,
+                 quantization: QuantizationSpec | None = None):
+        super().__init__(name, num_inputs=num_inputs, quantization=quantization)
+        if signs is None:
+            signs = [1.0] * num_inputs
+        if len(signs) != num_inputs:
+            raise ValueError(
+                f"expected {num_inputs} signs, got {len(signs)}")
+        self.signs = [float(s) for s in signs]
+
+    def simulate(self, inputs: list[np.ndarray]) -> np.ndarray:
+        length = max(len(np.asarray(x)) for x in inputs)
+        output = np.zeros(length)
+        for sign, x in zip(self.signs, inputs):
+            x = np.asarray(x, dtype=float)
+            output[:len(x)] += sign * x
+        return output
+
+    def propagate_stats(self, inputs: list[NoiseStats]) -> NoiseStats:
+        mean = sum(sign * stats.mean for sign, stats in zip(self.signs, inputs))
+        variance = sum(sign * sign * stats.variance
+                       for sign, stats in zip(self.signs, inputs))
+        return NoiseStats(mean=mean, variance=variance)
+
+    def propagate_psd(self, inputs: list[DiscretePsd], n_bins: int) -> DiscretePsd:
+        result = DiscretePsd.zero(inputs[0].n_bins if inputs else n_bins)
+        for sign, psd in zip(self.signs, inputs):
+            result = result + psd.scaled(sign)
+        return result
+
+    def propagate_tracked(self, inputs: list[TrackedSpectrum],
+                          n_bins: int) -> TrackedSpectrum:
+        result = TrackedSpectrum.zero(n_bins)
+        for sign, tracked in zip(self.signs, inputs):
+            result = result + tracked.scaled(sign)
+        return result
+
+
+class GainNode(_LtiMixin, Node):
+    """Multiplication by a constant coefficient."""
+
+    def __init__(self, name: str, gain: float,
+                 quantization: QuantizationSpec | None = None):
+        super().__init__(name, num_inputs=1, quantization=quantization)
+        self.gain = float(gain)
+
+    def _quantized_gain(self) -> float:
+        if self.quantization.enabled and self.quantization.coeff_bits is not None:
+            step = 2.0 ** (-self.quantization.coeff_bits)
+            return float(np.floor(self.gain / step + 0.5) * step)
+        return self.gain
+
+    def transfer_function(self) -> TransferFunction:
+        return TransferFunction.gain(self.gain)
+
+    def _effective_transfer_function(self) -> TransferFunction:
+        return TransferFunction.gain(self._quantized_gain())
+
+    def simulate(self, inputs: list[np.ndarray]) -> np.ndarray:
+        # The reference system shares the (quantized) coefficients of the
+        # fixed-point implementation; only the data path differs.  This is
+        # the convention used throughout the library: coefficient
+        # quantization is a deterministic design change, not a roundoff
+        # noise source.
+        (x,) = inputs
+        return np.asarray(x, dtype=float) * self._quantized_gain()
+
+    def simulate_fixed(self, inputs: list[np.ndarray]) -> np.ndarray:
+        (x,) = inputs
+        output = np.asarray(x, dtype=float) * self._quantized_gain()
+        if self.quantization.enabled:
+            output = self.quantization.quantizer().quantize(output)
+        return output
+
+
+class DelayNode(_LtiMixin, Node):
+    """Pure delay of an integer number of samples."""
+
+    def __init__(self, name: str, delay: int = 1):
+        super().__init__(name, num_inputs=1)
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        self.delay = int(delay)
+
+    def transfer_function(self) -> TransferFunction:
+        return TransferFunction.delay(self.delay)
+
+    def simulate(self, inputs: list[np.ndarray]) -> np.ndarray:
+        (x,) = inputs
+        x = np.asarray(x, dtype=float)
+        if self.delay == 0:
+            return x.copy()
+        return np.concatenate([np.zeros(self.delay), x[:-self.delay]]) \
+            if self.delay < len(x) else np.zeros(len(x))
+
+
+class FirNode(_LtiMixin, Node):
+    """FIR filter block."""
+
+    def __init__(self, name: str, taps,
+                 quantization: QuantizationSpec | None = None):
+        super().__init__(name, num_inputs=1, quantization=quantization)
+        self.filter = FirFilter(taps)
+
+    @property
+    def taps(self) -> np.ndarray:
+        """Filter coefficients."""
+        return self.filter.taps
+
+    def transfer_function(self) -> TransferFunction:
+        return self.filter.transfer_function()
+
+    def _effective_transfer_function(self) -> TransferFunction:
+        if self.quantization.enabled and self.quantization.coeff_bits is not None:
+            step = 2.0 ** (-self.quantization.coeff_bits)
+            quantized = np.floor(self.filter.taps / step + 0.5) * step
+            return TransferFunction.fir(quantized)
+        return self.transfer_function()
+
+    def simulate(self, inputs: list[np.ndarray]) -> np.ndarray:
+        # Reference and fixed-point implementations share the quantized
+        # coefficients; only the data-path precision differs.
+        (x,) = inputs
+        taps = self._effective_transfer_function().b
+        return np.convolve(np.asarray(x, dtype=float), taps)[:len(x)]
+
+    def simulate_fixed(self, inputs: list[np.ndarray]) -> np.ndarray:
+        (x,) = inputs
+        if not self.quantization.enabled:
+            return self.filter.process(x)
+        config = FixedPointFilterConfig(
+            data_fractional_bits=self.quantization.fractional_bits,
+            coefficient_fractional_bits=self.quantization.coeff_bits,
+            rounding=self.quantization.rounding,
+        )
+        return self.filter.process_fixed_point(x, config)
+
+
+class IirNode(_LtiMixin, Node):
+    """IIR filter block (direct form I).
+
+    The output quantizer sits inside the recursion, so the generated noise
+    is filtered by ``1 / A(z)`` before reaching the node output; the
+    propagation engines query :meth:`noise_shaping_function` to apply that
+    shaping to the node's own noise source.
+    """
+
+    def __init__(self, name: str, b, a,
+                 quantization: QuantizationSpec | None = None):
+        super().__init__(name, num_inputs=1, quantization=quantization)
+        self.filter = IirFilter(b, a)
+
+    def transfer_function(self) -> TransferFunction:
+        return self.filter.transfer_function()
+
+    def _effective_transfer_function(self) -> TransferFunction:
+        if self.quantization.enabled and self.quantization.coeff_bits is not None:
+            step = 2.0 ** (-self.quantization.coeff_bits)
+            b = np.floor(self.filter.b / step + 0.5) * step
+            a = np.floor(self.filter.a / step + 0.5) * step
+            return TransferFunction(b, a)
+        return self.transfer_function()
+
+    def noise_shaping_function(self) -> TransferFunction:
+        """Transfer function from the internal quantizer to the output."""
+        if self.quantization.enabled and self.quantization.coeff_bits is not None:
+            step = 2.0 ** (-self.quantization.coeff_bits)
+            a = np.floor(self.filter.a / step + 0.5) * step
+            return TransferFunction([1.0], a)
+        return self.filter.noise_transfer_function()
+
+    def simulate(self, inputs: list[np.ndarray]) -> np.ndarray:
+        # Reference and fixed-point implementations share the quantized
+        # coefficients; only the data-path precision differs.
+        (x,) = inputs
+        effective = self._effective_transfer_function()
+        return effective.filter(np.asarray(x, dtype=float))
+
+    def simulate_fixed(self, inputs: list[np.ndarray]) -> np.ndarray:
+        (x,) = inputs
+        if not self.quantization.enabled:
+            return self.filter.process(x)
+        config = FixedPointFilterConfig(
+            data_fractional_bits=self.quantization.fractional_bits,
+            coefficient_fractional_bits=self.quantization.coeff_bits,
+            rounding=self.quantization.rounding,
+        )
+        return self.filter.process_fixed_point(x, config)
+
+
+class LtiNode(_LtiMixin, Node):
+    """Generic LTI block defined by an arbitrary transfer function."""
+
+    def __init__(self, name: str, transfer_function: TransferFunction,
+                 quantization: QuantizationSpec | None = None):
+        super().__init__(name, num_inputs=1, quantization=quantization)
+        self._transfer_function = transfer_function
+
+    def transfer_function(self) -> TransferFunction:
+        return self._transfer_function
+
+    def simulate(self, inputs: list[np.ndarray]) -> np.ndarray:
+        (x,) = inputs
+        return self._transfer_function.filter(np.asarray(x, dtype=float))
+
+
+class DownsampleNode(Node):
+    """Decimator (keep one sample out of ``factor``)."""
+
+    def __init__(self, name: str, factor: int = 2, phase: int = 0):
+        super().__init__(name, num_inputs=1)
+        if factor < 1:
+            raise ValueError(f"factor must be at least 1, got {factor}")
+        self.factor = int(factor)
+        self.phase = int(phase)
+
+    def simulate(self, inputs: list[np.ndarray]) -> np.ndarray:
+        from repro.lti.multirate import downsample
+        (x,) = inputs
+        return downsample(np.asarray(x, dtype=float), self.factor, self.phase)
+
+    def propagate_stats(self, inputs: list[NoiseStats]) -> NoiseStats:
+        (stats,) = inputs
+        # Decimation of a WSS signal preserves per-sample moments.
+        return stats
+
+    def propagate_psd(self, inputs: list[DiscretePsd], n_bins: int) -> DiscretePsd:
+        (psd,) = inputs
+        return psd.downsampled(self.factor)
+
+    def propagate_tracked(self, inputs: list[TrackedSpectrum],
+                          n_bins: int) -> TrackedSpectrum:
+        raise NotImplementedError(
+            "per-source tracked propagation is only defined for LTI graphs; "
+            "multirate systems use the hierarchical PSD engine")
+
+
+class UpsampleNode(Node):
+    """Expander (insert ``factor - 1`` zeros between samples)."""
+
+    def __init__(self, name: str, factor: int = 2):
+        super().__init__(name, num_inputs=1)
+        if factor < 1:
+            raise ValueError(f"factor must be at least 1, got {factor}")
+        self.factor = int(factor)
+
+    def simulate(self, inputs: list[np.ndarray]) -> np.ndarray:
+        from repro.lti.multirate import upsample
+        (x,) = inputs
+        return upsample(np.asarray(x, dtype=float), self.factor)
+
+    def propagate_stats(self, inputs: list[NoiseStats]) -> NoiseStats:
+        (stats,) = inputs
+        # Zero insertion divides per-sample power (and mean) by the factor.
+        return NoiseStats(mean=stats.mean / self.factor,
+                          variance=stats.variance / self.factor)
+
+    def propagate_psd(self, inputs: list[DiscretePsd], n_bins: int) -> DiscretePsd:
+        (psd,) = inputs
+        return psd.upsampled(self.factor)
+
+    def propagate_tracked(self, inputs: list[TrackedSpectrum],
+                          n_bins: int) -> TrackedSpectrum:
+        raise NotImplementedError(
+            "per-source tracked propagation is only defined for LTI graphs; "
+            "multirate systems use the hierarchical PSD engine")

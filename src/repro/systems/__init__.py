@@ -1,0 +1,45 @@
+"""Benchmark systems of the paper's evaluation section.
+
+* :mod:`~repro.systems.filter_bank` — the 147-FIR / 147-IIR filter bank of
+  Table I.
+* :mod:`~repro.systems.freq_filter` — the frequency-domain band-pass
+  filtering scheme of Fig. 2 (time-domain FIR + FFT / coefficient multiply
+  / IFFT overlap-save stage).
+* :mod:`~repro.systems.dwt` — the 2-level Daubechies 9/7 DWT encoder /
+  decoder of Fig. 3.
+* :mod:`~repro.systems.wordlength` — the word-length refinement use-case
+  motivating the whole study (greedy optimization driven by any of the
+  accuracy evaluators).
+"""
+
+from repro.systems.filter_bank import (
+    FilterBankEntry,
+    FilterBankResult,
+    build_filter_graph,
+    evaluate_filter_bank,
+    generate_fir_bank,
+    generate_iir_bank,
+)
+from repro.systems.freq_filter import (
+    FrequencyDomainFilter,
+    FrequencyDomainFirNode,
+    build_frequency_filter_graph,
+)
+from repro.systems.dwt import Dwt97Codec, daubechies_9_7_filters
+from repro.systems.wordlength import WordLengthOptimizer, WordLengthResult
+
+__all__ = [
+    "FilterBankEntry",
+    "FilterBankResult",
+    "generate_fir_bank",
+    "generate_iir_bank",
+    "build_filter_graph",
+    "evaluate_filter_bank",
+    "FrequencyDomainFilter",
+    "FrequencyDomainFirNode",
+    "build_frequency_filter_graph",
+    "Dwt97Codec",
+    "daubechies_9_7_filters",
+    "WordLengthOptimizer",
+    "WordLengthResult",
+]

@@ -1,0 +1,118 @@
+"""CDF / Daubechies 9/7 biorthogonal wavelet filters.
+
+The 9/7 pair is the irreversible transform of JPEG-2000 and the filter
+bank drawn in Fig. 3 of the paper.  The coefficients below are the
+standard published values; the sign / alignment convention of the
+high-pass filters is chosen so that the two-channel filter bank
+
+    analysis:  low  = (x * h0) downsampled by 2 (even phase)
+               high = (x * h1) downsampled by 2 (even phase)
+    synthesis: x'   = (upsample(low) * g0) + (upsample(high) * g1)
+
+reconstructs the input exactly (up to double-precision rounding) when the
+filters are applied as *centered* circular convolutions — see
+:func:`repro.systems.dwt.dwt1d.circular_filter`.  Perfect reconstruction
+is asserted by the unit tests, which protects the convention against
+accidental changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+# Analysis low-pass (9 taps, symmetric, DC gain 1).
+_ANALYSIS_LOWPASS = np.array([
+    0.026748757410810,
+    -0.016864118442875,
+    -0.078223266528988,
+    0.266864118442872,
+    0.602949018236358,
+    0.266864118442872,
+    -0.078223266528988,
+    -0.016864118442875,
+    0.026748757410810,
+])
+
+# Synthesis low-pass (7 taps, symmetric, DC gain 2).
+_SYNTHESIS_LOWPASS = np.array([
+    -0.091271763114250,
+    -0.057543526228500,
+    0.591271763114247,
+    1.115087052456994,
+    0.591271763114247,
+    -0.057543526228500,
+    -0.091271763114250,
+])
+
+
+@dataclass(frozen=True)
+class WaveletFilters:
+    """A two-channel biorthogonal filter bank.
+
+    Attributes
+    ----------
+    analysis_lowpass, analysis_highpass:
+        Analysis filters ``h0`` and ``h1``.
+    synthesis_lowpass, synthesis_highpass:
+        Synthesis filters ``g0`` and ``g1``.
+    analysis_lowpass_center, analysis_highpass_center,
+    synthesis_lowpass_center, synthesis_highpass_center:
+        Index of the tap aligned with the current sample when the filter
+        is applied as a centered circular convolution; these alignments
+        are part of the perfect-reconstruction convention.
+    """
+
+    analysis_lowpass: np.ndarray
+    analysis_highpass: np.ndarray
+    synthesis_lowpass: np.ndarray
+    synthesis_highpass: np.ndarray
+    analysis_lowpass_center: int
+    analysis_highpass_center: int
+    synthesis_lowpass_center: int
+    synthesis_highpass_center: int
+
+    def quantized(self, fractional_bits: int) -> "WaveletFilters":
+        """Copy of the bank with all coefficients rounded to ``fractional_bits``."""
+        step = 2.0 ** (-fractional_bits)
+
+        def q(taps: np.ndarray) -> np.ndarray:
+            return np.floor(taps / step + 0.5) * step
+
+        return WaveletFilters(
+            analysis_lowpass=q(self.analysis_lowpass),
+            analysis_highpass=q(self.analysis_highpass),
+            synthesis_lowpass=q(self.synthesis_lowpass),
+            synthesis_highpass=q(self.synthesis_highpass),
+            analysis_lowpass_center=self.analysis_lowpass_center,
+            analysis_highpass_center=self.analysis_highpass_center,
+            synthesis_lowpass_center=self.synthesis_lowpass_center,
+            synthesis_highpass_center=self.synthesis_highpass_center,
+        )
+
+
+def daubechies_9_7_filters() -> WaveletFilters:
+    """The CDF 9/7 filter bank in the library's perfect-reconstruction convention.
+
+    The high-pass filters are obtained from the opposite-channel low-pass
+    filters by frequency modulation (``(-1)^n``); the centers were chosen
+    (and are locked in by the tests) so that analysis followed by synthesis
+    is the identity.
+    """
+    h0 = _ANALYSIS_LOWPASS.copy()
+    g0 = _SYNTHESIS_LOWPASS.copy()
+    modulation_g0 = ((-1.0) ** np.arange(len(g0)))
+    modulation_h0 = ((-1.0) ** np.arange(len(h0)))
+    h1 = modulation_g0 * g0          # analysis high-pass (7 taps)
+    g1 = -modulation_h0 * h0         # synthesis high-pass (9 taps)
+    return WaveletFilters(
+        analysis_lowpass=h0,
+        analysis_highpass=h1,
+        synthesis_lowpass=g0,
+        synthesis_highpass=g1,
+        analysis_lowpass_center=4,
+        analysis_highpass_center=2,
+        synthesis_lowpass_center=3,
+        synthesis_highpass_center=5,
+    )

@@ -1,0 +1,95 @@
+"""Separable two-dimensional 9/7 analysis / synthesis.
+
+Following Fig. 3 of the paper, one analysis level filters and decimates
+the *rows* first (horizontal direction, axis 1) and the *columns* second
+(vertical direction, axis 0), producing the ``LL``, ``LH``, ``HL`` and
+``HH`` sub-bands; synthesis reverses the order (columns first, then
+rows).  A multi-level transform recurses on the ``LL`` band.
+
+Sub-band pyramids are represented as dictionaries::
+
+    {
+        "levels": [
+            {"lh": ..., "hl": ..., "hh": ...},   # level 1 (finest)
+            {"lh": ..., "hl": ..., "hh": ...},   # level 2
+            ...
+        ],
+        "ll": ...,                                # coarsest approximation
+    }
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fixedpoint.quantizer import Quantizer
+from repro.systems.dwt.daubechies97 import WaveletFilters
+from repro.systems.dwt.dwt1d import analyze_1d, synthesize_1d
+
+_ROW_AXIS = 1   # filtering "on rows" runs along each row (horizontal axis)
+_COLUMN_AXIS = 0
+
+
+def analyze_2d(image: np.ndarray, filters: WaveletFilters,
+               quantizer: Quantizer | None = None
+               ) -> dict[str, np.ndarray]:
+    """One level of 2-D analysis: returns the four sub-bands."""
+    image = np.asarray(image, dtype=float)
+    _check_even(image)
+    low_rows, high_rows = analyze_1d(image, filters, axis=_ROW_AXIS,
+                                     quantizer=quantizer)
+    ll, lh = analyze_1d(low_rows, filters, axis=_COLUMN_AXIS,
+                        quantizer=quantizer)
+    hl, hh = analyze_1d(high_rows, filters, axis=_COLUMN_AXIS,
+                        quantizer=quantizer)
+    return {"ll": ll, "lh": lh, "hl": hl, "hh": hh}
+
+
+def synthesize_2d(subbands: dict[str, np.ndarray], filters: WaveletFilters,
+                  quantizer: Quantizer | None = None) -> np.ndarray:
+    """One level of 2-D synthesis from the four sub-bands."""
+    low_rows = synthesize_1d(subbands["ll"], subbands["lh"], filters,
+                             axis=_COLUMN_AXIS, quantizer=quantizer)
+    high_rows = synthesize_1d(subbands["hl"], subbands["hh"], filters,
+                              axis=_COLUMN_AXIS, quantizer=quantizer)
+    return synthesize_1d(low_rows, high_rows, filters, axis=_ROW_AXIS,
+                         quantizer=quantizer)
+
+
+def analyze_multilevel(image: np.ndarray, filters: WaveletFilters,
+                       levels: int,
+                       quantizer: Quantizer | None = None) -> dict:
+    """Multi-level 2-D analysis (recursing on the ``LL`` band)."""
+    if levels < 1:
+        raise ValueError(f"levels must be at least 1, got {levels}")
+    pyramid: dict = {"levels": []}
+    current = np.asarray(image, dtype=float)
+    for _ in range(levels):
+        subbands = analyze_2d(current, filters, quantizer=quantizer)
+        pyramid["levels"].append({"lh": subbands["lh"],
+                                  "hl": subbands["hl"],
+                                  "hh": subbands["hh"]})
+        current = subbands["ll"]
+    pyramid["ll"] = current
+    return pyramid
+
+
+def synthesize_multilevel(pyramid: dict, filters: WaveletFilters,
+                          quantizer: Quantizer | None = None) -> np.ndarray:
+    """Multi-level 2-D synthesis (inverse of :func:`analyze_multilevel`)."""
+    current = np.asarray(pyramid["ll"], dtype=float)
+    for detail in reversed(pyramid["levels"]):
+        subbands = {"ll": current, "lh": detail["lh"],
+                    "hl": detail["hl"], "hh": detail["hh"]}
+        current = synthesize_2d(subbands, filters, quantizer=quantizer)
+    return current
+
+
+def _check_even(image: np.ndarray) -> None:
+    if image.ndim != 2:
+        raise ValueError("the 2-D transform expects a 2-D array")
+    rows, cols = image.shape
+    if rows % 2 or cols % 2:
+        raise ValueError(
+            f"image dimensions must be even for one analysis level, got "
+            f"{image.shape}")

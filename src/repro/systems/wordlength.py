@@ -1,0 +1,171 @@
+"""Word-length optimization driven by the accuracy evaluators.
+
+The introduction of the paper motivates fast accuracy evaluation by the
+fixed-point *refinement* loop: choosing per-signal word lengths that meet
+a quality constraint at minimum cost requires evaluating the output noise
+power for very many candidate configurations, so the evaluator's speed
+directly bounds the size of the explorable search space.
+
+:class:`WordLengthOptimizer` implements the classical greedy refinement on
+top of any analytical evaluator of this library:
+
+1. find the smallest *uniform* fractional word length meeting the noise
+   budget (binary search);
+2. greedily remove one bit at a time from the node whose removal degrades
+   the output noise the least, as long as the budget is still met
+   (max-1 / min+1 style descent).
+
+The cost model is the total number of fractional bits across all
+quantized nodes, a standard proxy for datapath area / energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.agnostic_method import evaluate_agnostic
+from repro.analysis.flat_method import evaluate_flat
+from repro.analysis.psd_method import evaluate_psd
+from repro.sfg.graph import SignalFlowGraph
+
+
+@dataclass
+class WordLengthResult:
+    """Outcome of a word-length optimization run.
+
+    Attributes
+    ----------
+    assignment:
+        Mapping from node name to its optimized fractional word length.
+    noise_power:
+        Estimated output noise power of the final assignment.
+    budget:
+        Noise-power budget that was enforced.
+    total_bits:
+        Sum of fractional bits over all optimized nodes (the cost).
+    evaluations:
+        Number of analytical evaluations performed, a direct measure of
+        how much the evaluator's speed matters.
+    history:
+        Sequence of ``(assignment cost, noise power)`` pairs recorded
+        after every accepted move.
+    """
+
+    assignment: dict[str, int]
+    noise_power: float
+    budget: float
+    total_bits: int
+    evaluations: int
+    history: list = field(default_factory=list)
+
+
+class WordLengthOptimizer:
+    """Greedy word-length refinement on a signal-flow graph.
+
+    Parameters
+    ----------
+    graph:
+        Graph whose quantized nodes will be refined (their
+        :class:`~repro.sfg.nodes.QuantizationSpec` objects are replaced in
+        place by the optimizer).
+    method:
+        Analytical evaluator to drive the search: ``psd`` (default),
+        ``flat`` or ``agnostic``.
+    n_psd:
+        PSD bins for the PSD-based evaluator.
+    min_bits, max_bits:
+        Search range for every node's fractional word length.
+    """
+
+    def __init__(self, graph: SignalFlowGraph, method: str = "psd",
+                 n_psd: int = 256, min_bits: int = 4, max_bits: int = 24):
+        if min_bits < 1 or max_bits < min_bits:
+            raise ValueError(
+                f"invalid bit range [{min_bits}, {max_bits}]")
+        self.graph = graph
+        self.method = method
+        self.n_psd = n_psd
+        self.min_bits = min_bits
+        self.max_bits = max_bits
+        self._evaluations = 0
+        self._tunable = [name for name, node in graph.nodes.items()
+                         if node.quantization.enabled]
+        if not self._tunable:
+            raise ValueError("the graph has no quantized node to optimize")
+
+    # ------------------------------------------------------------------
+    # Evaluation plumbing
+    # ------------------------------------------------------------------
+    def _apply(self, assignment: dict[str, int]) -> None:
+        for name, bits in assignment.items():
+            node = self.graph.node(name)
+            node.quantization = node.quantization.with_fractional_bits(bits)
+
+    def _noise_power(self, assignment: dict[str, int]) -> float:
+        self._apply(assignment)
+        self._evaluations += 1
+        if self.method == "psd":
+            return evaluate_psd(self.graph, self.n_psd).total_power
+        if self.method == "flat":
+            return evaluate_flat(self.graph).power
+        if self.method == "agnostic":
+            return evaluate_agnostic(self.graph).power
+        raise ValueError(f"unknown method {self.method!r}")
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def uniform_search(self, budget: float) -> dict[str, int]:
+        """Smallest uniform word length meeting the noise budget."""
+        if budget <= 0:
+            raise ValueError("the noise budget must be positive")
+        low, high = self.min_bits, self.max_bits
+        if self._noise_power({n: high for n in self._tunable}) > budget:
+            raise ValueError(
+                f"the budget {budget:.3e} cannot be met even with "
+                f"{high} fractional bits everywhere")
+        while low < high:
+            middle = (low + high) // 2
+            power = self._noise_power({n: middle for n in self._tunable})
+            if power <= budget:
+                high = middle
+            else:
+                low = middle + 1
+        return {n: high for n in self._tunable}
+
+    def optimize(self, budget: float) -> WordLengthResult:
+        """Run the full greedy refinement under a noise-power budget."""
+        self._evaluations = 0
+        assignment = self.uniform_search(budget)
+        history = [(sum(assignment.values()),
+                    self._noise_power(assignment))]
+
+        improved = True
+        while improved:
+            improved = False
+            best_candidate = None
+            best_power = None
+            for name in self._tunable:
+                if assignment[name] <= self.min_bits:
+                    continue
+                candidate = dict(assignment)
+                candidate[name] -= 1
+                power = self._noise_power(candidate)
+                if power <= budget and (best_power is None or power < best_power):
+                    best_candidate = candidate
+                    best_power = power
+            if best_candidate is not None:
+                assignment = best_candidate
+                history.append((sum(assignment.values()), best_power))
+                improved = True
+
+        final_power = self._noise_power(assignment)
+        self._apply(assignment)
+        return WordLengthResult(
+            assignment=dict(assignment),
+            noise_power=final_power,
+            budget=budget,
+            total_bits=sum(assignment.values()),
+            evaluations=self._evaluations,
+            history=history,
+        )

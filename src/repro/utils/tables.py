@@ -1,0 +1,62 @@
+"""Plain-text table rendering for the benchmark harnesses.
+
+The benchmark scripts print the same rows as the paper's tables; this tiny
+formatter keeps that output aligned and dependency-free.
+"""
+
+from __future__ import annotations
+
+
+class TextTable:
+    """A fixed-column plain-text table.
+
+    Parameters
+    ----------
+    headers:
+        Column titles.
+    title:
+        Optional table title printed above the header row.
+    """
+
+    def __init__(self, headers: list[str], title: str | None = None):
+        if not headers:
+            raise ValueError("a table needs at least one column")
+        self.headers = [str(h) for h in headers]
+        self.title = title
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *cells) -> None:
+        """Append a row; cells are converted with ``str`` (floats via format)."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(cells)}")
+        formatted = []
+        for cell in cells:
+            if isinstance(cell, float):
+                formatted.append(f"{cell:.6g}")
+            else:
+                formatted.append(str(cell))
+        self.rows.append(formatted)
+
+    def render(self) -> str:
+        """Render the table as a string."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+
+        def render_row(cells: list[str]) -> str:
+            return " | ".join(cell.ljust(width)
+                              for cell, width in zip(cells, widths))
+
+        separator = "-+-".join("-" * width for width in widths)
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(render_row(self.headers))
+        lines.append(separator)
+        lines.extend(render_row(row) for row in self.rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.render()

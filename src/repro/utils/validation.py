@@ -1,0 +1,30 @@
+"""Tiny argument-validation helpers shared across the library."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Validate that ``value`` is a positive integer and return it."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    if value < 1:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def check_probability(value: float, name: str) -> float:
+    """Validate that ``value`` lies in ``[0, 1]`` and return it."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def check_same_length(a, b, name_a: str = "a", name_b: str = "b") -> None:
+    """Validate that two sequences have the same length."""
+    if len(a) != len(b):
+        raise ValueError(
+            f"{name_a} and {name_b} must have the same length, got "
+            f"{len(a)} and {len(b)}")

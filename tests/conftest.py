@@ -1,0 +1,26 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator shared by the tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def short_white_noise(rng) -> np.ndarray:
+    """A short wide-band stimulus for quick simulations."""
+    return rng.uniform(-0.9, 0.9, 8_192)
+
+
+@pytest.fixture
+def small_image(rng) -> np.ndarray:
+    """A small synthetic test image in [0, 1)."""
+    from repro.data.images import natural_image
+
+    return natural_image(32, seed=7)

@@ -1,0 +1,92 @@
+"""Unit tests for the unified AccuracyEvaluator front end."""
+
+import pytest
+
+from repro.analysis.evaluator import AccuracyEvaluator
+from repro.analysis.report import AccuracyReport, EstimateResult
+from repro.lti.fir_design import design_fir_lowpass
+from repro.sfg.builder import SfgBuilder
+
+
+def _graph(bits=10):
+    builder = SfgBuilder("system-under-test")
+    x = builder.input("x", fractional_bits=bits)
+    h = builder.fir("h", design_fir_lowpass(17, 0.4), x, fractional_bits=bits)
+    builder.output("y", h)
+    return builder.build()
+
+
+class TestEstimate:
+    def test_all_methods_run(self):
+        evaluator = AccuracyEvaluator(_graph(), n_psd=128)
+        for method in ("psd", "psd_tracked", "flat", "agnostic"):
+            result = evaluator.estimate(method)
+            assert result.power > 0.0
+            assert result.method == method
+            assert result.elapsed_seconds >= 0.0
+
+    def test_psd_bins_recorded(self):
+        evaluator = AccuracyEvaluator(_graph(), n_psd=128)
+        assert evaluator.estimate("psd").n_psd == 128
+        assert evaluator.estimate("psd", n_psd=64).n_psd == 64
+        assert evaluator.estimate("flat").n_psd is None
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            AccuracyEvaluator(_graph()).estimate("magic")
+
+
+class TestCompare:
+    def test_reports_generated_per_method(self, short_white_noise):
+        evaluator = AccuracyEvaluator(_graph(), n_psd=128)
+        comparison = evaluator.compare(short_white_noise,
+                                       methods=("psd", "agnostic"),
+                                       discard_transient=32)
+        assert set(comparison.reports) == {"psd", "agnostic"}
+        assert comparison.simulation.error_power > 0.0
+
+    def test_single_block_estimates_are_sub_one_bit(self, short_white_noise):
+        evaluator = AccuracyEvaluator(_graph(), n_psd=256)
+        comparison = evaluator.compare(short_white_noise, methods=("psd",),
+                                       discard_transient=32)
+        report = comparison.reports["psd"]
+        assert report.sub_one_bit
+        assert abs(report.ed_percent) < 20.0
+
+    def test_metadata_recorded(self, short_white_noise):
+        evaluator = AccuracyEvaluator(_graph(), n_psd=64)
+        comparison = evaluator.compare(short_white_noise, methods=("psd",),
+                                       metadata={"d": 10})
+        assert comparison.reports["psd"].metadata == {"d": 10}
+
+    def test_describe_mentions_each_method(self, short_white_noise):
+        evaluator = AccuracyEvaluator(_graph(), n_psd=64)
+        comparison = evaluator.compare(short_white_noise,
+                                       methods=("psd", "flat"))
+        text = comparison.describe()
+        assert "psd" in text and "flat" in text
+
+    def test_ed_percent_helper(self, short_white_noise):
+        evaluator = AccuracyEvaluator(_graph(), n_psd=64)
+        comparison = evaluator.compare(short_white_noise, methods=("psd",))
+        assert comparison.ed_percent("psd") == pytest.approx(
+            comparison.reports["psd"].ed_percent)
+
+
+class TestReportObjects:
+    def test_report_derived_metrics(self):
+        estimate = EstimateResult(method="psd", power=2.0, mean=0.0,
+                                  variance=2.0, n_psd=64)
+        report = AccuracyReport(system="s", simulated_power=1.0,
+                                estimate=estimate)
+        assert report.ed == pytest.approx(-1.0)
+        assert report.ed_percent == pytest.approx(-100.0)
+        assert report.equivalent_bits == pytest.approx(0.5)
+        assert report.sub_one_bit
+
+    def test_describe_contains_flag(self):
+        estimate = EstimateResult(method="psd", power=10.0, mean=0.0,
+                                  variance=10.0)
+        report = AccuracyReport(system="s", simulated_power=1.0,
+                                estimate=estimate)
+        assert "OVER one bit" in report.describe()

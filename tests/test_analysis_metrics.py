@@ -1,0 +1,94 @@
+"""Unit tests for the accuracy metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    ed_deviation,
+    ed_from_records,
+    equivalent_bit_error,
+    is_sub_one_bit,
+    mse,
+    noise_power,
+    sqnr_db,
+)
+
+
+class TestBasicMetrics:
+    def test_noise_power(self):
+        assert noise_power(np.array([1.0, -1.0, 1.0])) == pytest.approx(1.0)
+
+    def test_noise_power_empty_rejected(self):
+        with pytest.raises(ValueError):
+            noise_power(np.array([]))
+
+    def test_mse(self):
+        a = np.array([1.0, 2.0])
+        b = np.array([1.5, 2.0])
+        assert mse(a, b) == pytest.approx(0.125)
+
+    def test_mse_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros(3), np.zeros(4))
+
+    def test_sqnr_db(self):
+        assert sqnr_db(1.0, 0.001) == pytest.approx(30.0)
+
+    def test_sqnr_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            sqnr_db(0.0, 1.0)
+        with pytest.raises(ValueError):
+            sqnr_db(1.0, 0.0)
+
+
+class TestEdDeviation:
+    def test_exact_estimate_gives_zero(self):
+        assert ed_deviation(1e-6, 1e-6) == 0.0
+
+    def test_underestimate_is_positive(self):
+        assert ed_deviation(2.0, 1.0) == pytest.approx(0.5)
+
+    def test_overestimate_is_negative(self):
+        assert ed_deviation(1.0, 2.0) == pytest.approx(-1.0)
+
+    def test_non_positive_simulation_rejected(self):
+        with pytest.raises(ValueError):
+            ed_deviation(0.0, 1.0)
+
+    def test_from_records(self):
+        error = np.array([0.1, -0.1])
+        assert ed_from_records(error, 0.01) == pytest.approx(0.0)
+
+
+class TestOneBitBand:
+    def test_exact_is_sub_one_bit(self):
+        assert is_sub_one_bit(0.0)
+
+    def test_factor_two_is_sub_one_bit(self):
+        # Estimate half / double the simulated power -> within one bit.
+        assert is_sub_one_bit(ed_deviation(1.0, 0.5))
+        assert is_sub_one_bit(ed_deviation(1.0, 2.0))
+
+    def test_factor_five_is_over_one_bit(self):
+        assert not is_sub_one_bit(ed_deviation(1.0, 5.0))
+        assert not is_sub_one_bit(ed_deviation(5.0, 1.0))
+
+    def test_band_boundaries(self):
+        # One bit corresponds to a power factor of exactly 4.
+        assert not is_sub_one_bit(ed_deviation(1.0, 4.0))       # Ed = -300 %
+        assert not is_sub_one_bit(ed_deviation(4.0, 1.0))       # Ed = +75 %
+        assert is_sub_one_bit(ed_deviation(1.0, 3.99))
+        assert is_sub_one_bit(ed_deviation(3.99, 1.0))
+
+
+class TestEquivalentBits:
+    def test_equal_powers_give_zero_bits(self):
+        assert equivalent_bit_error(1.0, 1.0) == 0.0
+
+    def test_factor_four_is_one_bit(self):
+        assert equivalent_bit_error(1.0, 4.0) == pytest.approx(1.0)
+        assert equivalent_bit_error(4.0, 1.0) == pytest.approx(1.0)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            equivalent_bit_error(0.0, 1.0)

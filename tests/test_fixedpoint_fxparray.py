@@ -1,0 +1,92 @@
+"""Unit tests for the integer-mantissa fixed-point arrays."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fixedpoint.fxparray import FxpArray
+from repro.fixedpoint.qformat import QFormat
+from repro.fixedpoint.quantizer import OverflowMode, RoundingMode
+
+
+class TestConstruction:
+    def test_from_float_round_trip(self):
+        fmt = QFormat(3, 8)
+        values = np.array([0.5, -1.25, 3.0])
+        array = FxpArray.from_float(values, fmt)
+        np.testing.assert_allclose(array.to_float(), values)
+
+    def test_from_float_quantizes(self):
+        array = FxpArray.from_float(np.array([0.3]), QFormat(2, 2))
+        assert array.to_float()[0] == pytest.approx(0.25)
+
+    def test_zeros(self):
+        array = FxpArray.zeros(5, QFormat(2, 4))
+        assert len(array) == 5
+        np.testing.assert_array_equal(array.to_float(), np.zeros(5))
+
+    def test_saturation_on_construction(self):
+        array = FxpArray.from_float(np.array([100.0]), QFormat(2, 2),
+                                    overflow=OverflowMode.SATURATE)
+        assert array.to_float()[0] == QFormat(2, 2).max_value
+
+
+class TestArithmetic:
+    def test_addition_is_exact(self):
+        a = FxpArray.from_float(np.array([0.5, 0.25]), QFormat(2, 4))
+        b = FxpArray.from_float(np.array([0.125, -0.75]), QFormat(2, 6))
+        result = a + b
+        np.testing.assert_allclose(result.to_float(), [0.625, -0.5])
+
+    def test_subtraction(self):
+        a = FxpArray.from_float(np.array([1.0]), QFormat(2, 4))
+        b = FxpArray.from_float(np.array([0.25]), QFormat(2, 4))
+        np.testing.assert_allclose((a - b).to_float(), [0.75])
+
+    def test_negation(self):
+        a = FxpArray.from_float(np.array([0.5]), QFormat(2, 4))
+        np.testing.assert_allclose((-a).to_float(), [-0.5])
+
+    def test_multiplication_is_exact(self):
+        a = FxpArray.from_float(np.array([0.75]), QFormat(2, 4))
+        b = FxpArray.from_float(np.array([0.375]), QFormat(2, 5))
+        result = a * b
+        assert result.fmt.fractional_bits == 9
+        np.testing.assert_allclose(result.to_float(), [0.28125])
+
+    def test_scale_by_constant(self):
+        a = FxpArray.from_float(np.array([0.5, 1.0]), QFormat(2, 4))
+        result = a.scale_by_constant(0.5, QFormat(1, 6))
+        np.testing.assert_allclose(result.to_float(), [0.25, 0.5])
+
+    @given(st.lists(st.floats(min_value=-3, max_value=3, allow_nan=False),
+                    min_size=1, max_size=20))
+    def test_add_matches_float_addition(self, values):
+        fmt = QFormat(4, 10)
+        a = FxpArray.from_float(np.array(values), fmt)
+        b = FxpArray.from_float(np.array(values[::-1]), fmt)
+        expected = a.to_float() + b.to_float()
+        np.testing.assert_allclose((a + b).to_float(), expected)
+
+
+class TestRequantize:
+    def test_requantize_to_coarser_grid(self):
+        a = FxpArray.from_float(np.array([0.3]), QFormat(2, 8))
+        coarse = a.requantize(QFormat(2, 2), rounding=RoundingMode.TRUNCATE)
+        assert coarse.to_float()[0] == pytest.approx(0.25)
+
+    def test_requantize_to_finer_grid_is_exact(self):
+        a = FxpArray.from_float(np.array([0.25]), QFormat(2, 2))
+        fine = a.requantize(QFormat(2, 8))
+        assert fine.to_float()[0] == pytest.approx(0.25)
+
+    def test_requantize_with_saturation(self):
+        a = FxpArray.from_float(np.array([3.5]), QFormat(3, 4))
+        result = a.requantize(QFormat(1, 4), overflow=OverflowMode.SATURATE)
+        assert result.to_float()[0] == QFormat(1, 4).max_value
+
+    def test_error_vs_reference(self):
+        reference = np.array([0.3, 0.7])
+        a = FxpArray.from_float(reference, QFormat(2, 3))
+        error = a.error_vs(reference)
+        assert np.max(np.abs(error)) <= QFormat(2, 3).step / 2 + 1e-15

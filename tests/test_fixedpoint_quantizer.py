@@ -1,0 +1,107 @@
+"""Unit tests for :mod:`repro.fixedpoint.quantizer`."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fixedpoint.qformat import QFormat
+from repro.fixedpoint.quantizer import (
+    OverflowMode,
+    Quantizer,
+    RoundingMode,
+    quantize,
+)
+
+
+class TestRounding:
+    def test_round_to_nearest(self):
+        q = Quantizer(QFormat(2, 2), rounding=RoundingMode.ROUND)
+        np.testing.assert_allclose(q(np.array([0.3, 0.4, -0.3])),
+                                   [0.25, 0.5, -0.25])
+
+    def test_round_half_up_ties(self):
+        q = Quantizer(QFormat(2, 1), rounding=RoundingMode.ROUND)
+        np.testing.assert_allclose(q(np.array([0.25, -0.25, 0.75])),
+                                   [0.5, 0.0, 1.0])
+
+    def test_truncate_goes_towards_minus_infinity(self):
+        q = Quantizer(QFormat(2, 2), rounding=RoundingMode.TRUNCATE)
+        np.testing.assert_allclose(q(np.array([0.3, -0.3])), [0.25, -0.5])
+
+    def test_convergent_ties_to_even(self):
+        q = Quantizer(QFormat(3, 0), rounding=RoundingMode.CONVERGENT)
+        np.testing.assert_allclose(q(np.array([0.5, 1.5, 2.5, -0.5])),
+                                   [0.0, 2.0, 2.0, 0.0])
+
+    def test_values_on_grid_unchanged(self):
+        q = Quantizer(QFormat(3, 4))
+        values = np.array([0.0625, -2.5, 3.9375, 0.0])
+        np.testing.assert_array_equal(q(values), values)
+
+    def test_error_bounded_by_step(self):
+        q = Quantizer(QFormat(4, 6), rounding=RoundingMode.ROUND)
+        x = np.linspace(-7, 7, 1001)
+        assert np.max(np.abs(q.error(x))) <= q.step / 2 + 1e-15
+
+    def test_truncation_error_sign(self):
+        q = Quantizer(QFormat(4, 6), rounding=RoundingMode.TRUNCATE)
+        x = np.linspace(-7, 7, 1001)
+        errors = q.error(x)
+        assert np.all(errors <= 0.0)
+        assert np.all(errors > -q.step)
+
+
+class TestOverflow:
+    def test_saturation_clips(self):
+        q = Quantizer(QFormat(1, 2), overflow=OverflowMode.SATURATE)
+        np.testing.assert_allclose(q(np.array([5.0, -5.0])), [1.75, -2.0])
+
+    def test_wrap_is_modular(self):
+        q = Quantizer(QFormat(1, 0), overflow=OverflowMode.WRAP)
+        # Range is [-2, 1]; 2 wraps to -2.
+        np.testing.assert_allclose(q(np.array([2.0])), [-2.0])
+
+    def test_none_leaves_out_of_range_values(self):
+        q = Quantizer(QFormat(1, 2), overflow=OverflowMode.NONE)
+        np.testing.assert_allclose(q(np.array([5.0])), [5.0])
+
+
+class TestConvenienceFunction:
+    def test_quantize_matches_class(self):
+        x = np.array([0.33, -0.77, 0.123])
+        expected = Quantizer(QFormat(15, 8)).quantize(x)
+        np.testing.assert_array_equal(quantize(x, 8), expected)
+
+    def test_string_modes_accepted(self):
+        x = np.array([0.3])
+        np.testing.assert_allclose(quantize(x, 2, rounding="truncate"), [0.25])
+
+
+class TestProperties:
+    @given(st.lists(st.floats(min_value=-100, max_value=100,
+                              allow_nan=False, allow_infinity=False),
+                    min_size=1, max_size=50),
+           st.integers(min_value=0, max_value=20),
+           st.sampled_from(list(RoundingMode)))
+    def test_idempotent(self, values, frac, mode):
+        q = Quantizer(QFormat(15, frac), rounding=mode)
+        once = q(np.array(values))
+        twice = q(once)
+        np.testing.assert_array_equal(once, twice)
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100,
+                              allow_nan=False, allow_infinity=False),
+                    min_size=1, max_size=50),
+           st.integers(min_value=0, max_value=20))
+    def test_output_on_grid(self, values, frac):
+        q = Quantizer(QFormat(15, frac))
+        output = q(np.array(values))
+        mantissa = output / q.step
+        np.testing.assert_allclose(mantissa, np.round(mantissa), atol=1e-6)
+
+    @given(st.integers(min_value=0, max_value=18))
+    def test_finer_grid_gives_smaller_error(self, frac):
+        x = np.linspace(-1, 1, 257)
+        coarse = Quantizer(QFormat(3, frac)).error(x)
+        fine = Quantizer(QFormat(3, frac + 2)).error(x)
+        assert np.mean(fine ** 2) <= np.mean(coarse ** 2) + 1e-18

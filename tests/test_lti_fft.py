@@ -1,0 +1,94 @@
+"""Unit tests for the radix-2 FFT kernels (double and fixed-point)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lti.fft import FixedPointFft, fft_radix2, ifft_radix2
+
+
+class TestReferenceFft:
+    @pytest.mark.parametrize("size", [1, 2, 4, 8, 16, 64, 256])
+    def test_matches_numpy(self, rng, size):
+        x = rng.standard_normal(size) + 1j * rng.standard_normal(size)
+        np.testing.assert_allclose(fft_radix2(x), np.fft.fft(x), atol=1e-10)
+
+    def test_inverse_round_trip(self, rng):
+        x = rng.standard_normal(32) + 1j * rng.standard_normal(32)
+        np.testing.assert_allclose(ifft_radix2(fft_radix2(x)), x, atol=1e-12)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            fft_radix2(np.ones(12))
+
+    def test_parseval(self, rng):
+        x = rng.standard_normal(64)
+        spectrum = fft_radix2(x)
+        assert np.sum(np.abs(spectrum) ** 2) / 64 == pytest.approx(
+            np.sum(x ** 2))
+
+    @settings(deadline=None, max_examples=25)
+    @given(st.integers(min_value=0, max_value=5))
+    def test_linearity(self, log_size):
+        size = 2 ** log_size
+        rng = np.random.default_rng(log_size)
+        a = rng.standard_normal(size)
+        b = rng.standard_normal(size)
+        np.testing.assert_allclose(fft_radix2(a + b),
+                                   fft_radix2(a) + fft_radix2(b), atol=1e-10)
+
+
+class TestFixedPointFft:
+    def test_high_precision_approaches_exact(self, rng):
+        x = rng.uniform(-0.9, 0.9, 16)
+        engine = FixedPointFft(16, fractional_bits=24)
+        np.testing.assert_allclose(engine.forward(x), np.fft.fft(x), atol=1e-4)
+
+    def test_inverse_round_trip_error_small(self, rng):
+        x = rng.uniform(-0.9, 0.9, 16)
+        engine = FixedPointFft(16, fractional_bits=20)
+        reconstructed = engine.inverse(engine.forward(x))
+        assert np.max(np.abs(reconstructed - x)) < 1e-4
+
+    def test_error_decreases_with_precision(self, rng):
+        x = rng.uniform(-0.9, 0.9, 32)
+        errors = []
+        for bits in (8, 12, 16, 20):
+            engine = FixedPointFft(32, fractional_bits=bits)
+            errors.append(np.max(np.abs(engine.forward(x) - np.fft.fft(x))))
+        assert errors[0] > errors[-1]
+        assert all(e1 >= e2 * 0.5 for e1, e2 in zip(errors, errors[1:]))
+
+    def test_outputs_on_quantization_grid(self, rng):
+        x = rng.uniform(-0.9, 0.9, 16)
+        engine = FixedPointFft(16, fractional_bits=8)
+        spectrum = engine.forward(x)
+        scaled = spectrum.real * 2 ** 8
+        np.testing.assert_allclose(scaled, np.round(scaled), atol=1e-9)
+
+    def test_wrong_block_size_rejected(self):
+        engine = FixedPointFft(16, fractional_bits=10)
+        with pytest.raises(ValueError):
+            engine.forward(np.ones(8))
+
+    def test_non_power_of_two_size_rejected(self):
+        with pytest.raises(ValueError):
+            FixedPointFft(12, fractional_bits=10)
+
+    def test_num_stages(self):
+        assert FixedPointFft(16, 10).num_stages == 4
+        assert FixedPointFft(256, 10).num_stages == 8
+
+    def test_roundoff_noise_scales_with_step(self, rng):
+        """The measured FFT roundoff noise should scale roughly as q^2."""
+        x = rng.uniform(-0.9, 0.9, (50, 16))
+        powers = []
+        for bits in (10, 14):
+            engine = FixedPointFft(16, fractional_bits=bits)
+            errors = []
+            for row in x:
+                errors.append(engine.forward(row) - np.fft.fft(row))
+            errors = np.concatenate(errors)
+            powers.append(np.mean(np.abs(errors) ** 2))
+        ratio = powers[0] / powers[1]
+        assert 2 ** 7 < ratio < 2 ** 9

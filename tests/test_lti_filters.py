@@ -1,0 +1,120 @@
+"""Unit tests for the stateful FIR / IIR filter implementations."""
+
+import numpy as np
+import pytest
+
+from repro.fixedpoint.quantizer import RoundingMode
+from repro.lti.filters import FirFilter, FixedPointFilterConfig, IirFilter
+from repro.lti.iir_design import design_iir_filter
+
+
+class TestFirFilter:
+    def test_process_matches_convolution(self, rng):
+        taps = rng.standard_normal(12)
+        x = rng.standard_normal(200)
+        expected = np.convolve(x, taps)[:200]
+        np.testing.assert_allclose(FirFilter(taps).process(x), expected)
+
+    def test_invalid_taps_rejected(self):
+        with pytest.raises(ValueError):
+            FirFilter([])
+
+    def test_transfer_function_round_trip(self):
+        taps = [0.25, 0.5, 0.25]
+        np.testing.assert_array_equal(
+            FirFilter(taps).transfer_function().b, taps)
+
+    def test_fixed_point_output_on_grid(self, rng):
+        taps = rng.uniform(-0.5, 0.5, 8)
+        x = rng.uniform(-0.9, 0.9, 500)
+        config = FixedPointFilterConfig(data_fractional_bits=10)
+        y = FirFilter(taps).process_fixed_point(x, config)
+        mantissa = y * 2 ** 10
+        np.testing.assert_allclose(mantissa, np.round(mantissa), atol=1e-9)
+
+    def test_fixed_point_error_bounded(self, rng):
+        taps = rng.uniform(-0.5, 0.5, 8)
+        x = rng.uniform(-0.9, 0.9, 500)
+        config = FixedPointFilterConfig(data_fractional_bits=12,
+                                        coefficient_fractional_bits=20)
+        quantized_taps = config.coefficient_quantizer().quantize(taps)
+        reference = np.convolve(x, quantized_taps)[:500]
+        y = FirFilter(taps).process_fixed_point(x, config)
+        assert np.max(np.abs(y - reference)) <= 2 ** -12
+
+    def test_input_quantization_option(self, rng):
+        taps = [1.0]
+        x = rng.uniform(-0.9, 0.9, 100)
+        config = FixedPointFilterConfig(data_fractional_bits=6,
+                                        quantize_input=True)
+        y = FirFilter(taps).process_fixed_point(x, config)
+        mantissa = y * 2 ** 6
+        np.testing.assert_allclose(mantissa, np.round(mantissa), atol=1e-9)
+
+
+class TestIirFilter:
+    def test_process_matches_scipy(self, rng):
+        from scipy.signal import lfilter
+        b, a = design_iir_filter(4, 0.4, "lowpass", "butterworth")
+        x = rng.standard_normal(300)
+        np.testing.assert_allclose(IirFilter(b, a).process(x), lfilter(b, a, x))
+
+    def test_coefficients_normalized(self):
+        filt = IirFilter([2.0], [2.0, 1.0])
+        np.testing.assert_allclose(filt.a, [1.0, 0.5])
+
+    def test_zero_leading_denominator_rejected(self):
+        with pytest.raises(ValueError):
+            IirFilter([1.0], [0.0, 1.0])
+
+    def test_noise_transfer_function_is_one_over_a(self):
+        b, a = [0.5, 0.5], [1.0, -0.3]
+        ntf = IirFilter(b, a).noise_transfer_function()
+        np.testing.assert_allclose(ntf.b, [1.0])
+        np.testing.assert_allclose(ntf.a, a)
+
+    def test_fixed_point_output_on_grid(self, rng):
+        b, a = design_iir_filter(3, 0.3, "lowpass", "butterworth")
+        x = rng.uniform(-0.9, 0.9, 400)
+        config = FixedPointFilterConfig(data_fractional_bits=10)
+        y = IirFilter(b, a).process_fixed_point(x, config)
+        mantissa = y * 2 ** 10
+        np.testing.assert_allclose(mantissa, np.round(mantissa), atol=1e-9)
+
+    def test_fixed_point_converges_to_reference_with_precision(self, rng):
+        b, a = design_iir_filter(2, 0.4, "lowpass", "butterworth")
+        x = rng.uniform(-0.9, 0.9, 400)
+        filt = IirFilter(b, a)
+        errors = []
+        for bits in (8, 12, 16, 20):
+            config = FixedPointFilterConfig(data_fractional_bits=bits,
+                                            coefficient_fractional_bits=24)
+            quantized_b = config.coefficient_quantizer().quantize(filt.b)
+            quantized_a = config.coefficient_quantizer().quantize(filt.a)
+            reference = IirFilter(quantized_b, quantized_a).process(x)
+            fixed = filt.process_fixed_point(x, config)
+            errors.append(float(np.mean((fixed - reference) ** 2)))
+        assert errors[0] > errors[1] > errors[2] > errors[3]
+
+    def test_truncation_mode_biases_output_negative(self, rng):
+        b, a = [1.0], [1.0]
+        x = rng.uniform(-0.9, 0.9, 2000)
+        config = FixedPointFilterConfig(data_fractional_bits=6,
+                                        rounding=RoundingMode.TRUNCATE)
+        y = IirFilter(b, a).process_fixed_point(x, config)
+        assert np.mean(y - x) < 0.0
+
+
+class TestFixedPointFilterConfig:
+    def test_default_coefficient_bits_follow_data(self):
+        config = FixedPointFilterConfig(data_fractional_bits=9)
+        assert config.coeff_bits == 9
+
+    def test_explicit_coefficient_bits(self):
+        config = FixedPointFilterConfig(data_fractional_bits=9,
+                                        coefficient_fractional_bits=14)
+        assert config.coeff_bits == 14
+
+    def test_quantizers_use_requested_precision(self):
+        config = FixedPointFilterConfig(data_fractional_bits=5)
+        assert config.data_quantizer().step == 2 ** -5

@@ -1,0 +1,99 @@
+"""Unit tests for the windowed-sinc FIR designs."""
+
+import numpy as np
+import pytest
+
+from repro.lti.fir_design import (
+    design_fir_bandpass,
+    design_fir_bandstop,
+    design_fir_highpass,
+    design_fir_lowpass,
+)
+from repro.lti.transfer_function import TransferFunction
+
+
+def _gain_at(taps, frequency):
+    """Magnitude response at a normalized frequency (1.0 = Nyquist)."""
+    response = TransferFunction.fir(taps).frequency_response(1024)
+    index = int(round(frequency * 512))
+    return abs(response[index])
+
+
+class TestLowpass:
+    def test_unit_dc_gain(self):
+        taps = design_fir_lowpass(33, 0.3)
+        assert np.sum(taps) == pytest.approx(1.0)
+
+    def test_stopband_attenuation(self):
+        taps = design_fir_lowpass(65, 0.3)
+        assert _gain_at(taps, 0.8) < 0.01
+
+    def test_passband_flatness(self):
+        taps = design_fir_lowpass(65, 0.5)
+        assert _gain_at(taps, 0.1) == pytest.approx(1.0, abs=0.02)
+
+    def test_symmetric_linear_phase(self):
+        taps = design_fir_lowpass(32, 0.4)
+        np.testing.assert_allclose(taps, taps[::-1], atol=1e-12)
+
+    def test_invalid_cutoff_rejected(self):
+        with pytest.raises(ValueError):
+            design_fir_lowpass(16, 1.5)
+        with pytest.raises(ValueError):
+            design_fir_lowpass(16, 0.0)
+
+    def test_too_few_taps_rejected(self):
+        with pytest.raises(ValueError):
+            design_fir_lowpass(1, 0.3)
+
+
+class TestHighpass:
+    def test_unit_nyquist_gain(self):
+        taps = design_fir_highpass(33, 0.4)
+        assert _gain_at(taps, 1.0 - 1 / 512) == pytest.approx(1.0, abs=0.02)
+
+    def test_dc_rejection(self):
+        taps = design_fir_highpass(65, 0.4)
+        assert abs(np.sum(taps)) < 0.01
+
+    def test_even_length_promoted_to_odd(self):
+        taps = design_fir_highpass(16, 0.4)
+        assert len(taps) == 17
+
+
+class TestBandpass:
+    def test_center_gain(self):
+        taps = design_fir_bandpass(65, 0.3, 0.6)
+        assert _gain_at(taps, 0.45) == pytest.approx(1.0, abs=0.05)
+
+    def test_band_edges_reject_out_of_band(self):
+        taps = design_fir_bandpass(97, 0.4, 0.6)
+        assert _gain_at(taps, 0.05) < 0.02
+        assert _gain_at(taps, 0.95) < 0.02
+
+    def test_invalid_band_rejected(self):
+        with pytest.raises(ValueError):
+            design_fir_bandpass(32, 0.6, 0.4)
+
+
+class TestBandstop:
+    def test_notch_attenuation(self):
+        taps = design_fir_bandstop(97, 0.4, 0.6)
+        assert _gain_at(taps, 0.5) < 0.05
+
+    def test_dc_gain_unity(self):
+        taps = design_fir_bandstop(65, 0.4, 0.6)
+        assert np.sum(taps) == pytest.approx(1.0, abs=1e-6)
+
+    def test_invalid_band_rejected(self):
+        with pytest.raises(ValueError):
+            design_fir_bandstop(33, 0.0, 0.4)
+
+
+class TestWindows:
+    @pytest.mark.parametrize("window", ["rectangular", "hamming", "hann",
+                                        "blackman", "kaiser"])
+    def test_all_windows_produce_valid_lowpass(self, window):
+        taps = design_fir_lowpass(49, 0.35, window=window)
+        assert np.sum(taps) == pytest.approx(1.0)
+        assert _gain_at(taps, 0.9) < 0.1

@@ -1,0 +1,122 @@
+"""Unit tests for the Butterworth / Chebyshev IIR designs."""
+
+import numpy as np
+import pytest
+
+from repro.lti.iir_design import (
+    butterworth_prototype,
+    chebyshev1_prototype,
+    design_iir_filter,
+)
+from repro.lti.transfer_function import TransferFunction
+
+
+def _magnitude(b, a, frequency, n=2048):
+    response = TransferFunction(b, a).frequency_response(n)
+    index = int(round(frequency * n / 2))
+    return abs(response[index])
+
+
+class TestPrototypes:
+    def test_butterworth_poles_on_unit_circle(self):
+        _, poles, _ = butterworth_prototype(5)
+        np.testing.assert_allclose(np.abs(poles), 1.0, atol=1e-12)
+
+    def test_butterworth_poles_in_left_half_plane(self):
+        _, poles, _ = butterworth_prototype(6)
+        assert np.all(np.real(poles) < 0)
+
+    def test_chebyshev_poles_in_left_half_plane(self):
+        _, poles, _ = chebyshev1_prototype(5, ripple_db=1.0)
+        assert np.all(np.real(poles) < 0)
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValueError):
+            butterworth_prototype(0)
+
+    def test_invalid_ripple_rejected(self):
+        with pytest.raises(ValueError):
+            chebyshev1_prototype(4, ripple_db=0.0)
+
+
+class TestLowpassDesigns:
+    @pytest.mark.parametrize("family", ["butterworth", "chebyshev1"])
+    @pytest.mark.parametrize("order", [2, 4, 6])
+    def test_stable(self, family, order):
+        b, a = design_iir_filter(order, 0.3, "lowpass", family)
+        assert TransferFunction(b, a).is_stable()
+
+    def test_butterworth_dc_gain_unity(self):
+        b, a = design_iir_filter(4, 0.3, "lowpass", "butterworth")
+        assert _magnitude(b, a, 0.0) == pytest.approx(1.0, abs=1e-6)
+
+    def test_butterworth_half_power_at_cutoff(self):
+        b, a = design_iir_filter(4, 0.4, "lowpass", "butterworth")
+        assert _magnitude(b, a, 0.4) == pytest.approx(1.0 / np.sqrt(2.0),
+                                                      abs=0.01)
+
+    def test_stopband_attenuation_grows_with_order(self):
+        gains = []
+        for order in (2, 4, 6):
+            b, a = design_iir_filter(order, 0.3, "lowpass", "butterworth")
+            gains.append(_magnitude(b, a, 0.8))
+        assert gains[0] > gains[1] > gains[2]
+
+    def test_chebyshev_ripple_bounded(self):
+        b, a = design_iir_filter(5, 0.4, "lowpass", "chebyshev1", ripple_db=1.0)
+        frequencies = np.linspace(0.01, 0.35, 50)
+        gains = [_magnitude(b, a, f) for f in frequencies]
+        assert max(gains) <= 1.0 + 1e-3
+        assert min(gains) >= 10 ** (-1.0 / 20.0) - 0.02
+
+
+class TestHighpassDesigns:
+    def test_dc_rejection(self):
+        b, a = design_iir_filter(4, 0.5, "highpass", "butterworth")
+        assert _magnitude(b, a, 0.0) < 1e-6
+
+    def test_nyquist_gain_unity(self):
+        b, a = design_iir_filter(4, 0.5, "highpass", "butterworth")
+        assert _magnitude(b, a, 1.0 - 1e-3) == pytest.approx(1.0, abs=0.01)
+
+    def test_stable(self):
+        b, a = design_iir_filter(6, 0.6, "highpass", "chebyshev1")
+        assert TransferFunction(b, a).is_stable()
+
+
+class TestBandpassDesigns:
+    def test_center_gain(self):
+        b, a = design_iir_filter(3, (0.3, 0.6), "bandpass", "butterworth")
+        center = np.sqrt(0.3 * 0.6)
+        assert _magnitude(b, a, center) == pytest.approx(1.0, abs=0.05)
+
+    def test_band_edges_rejected(self):
+        b, a = design_iir_filter(3, (0.3, 0.6), "bandpass", "butterworth")
+        assert _magnitude(b, a, 0.05) < 0.05
+        assert _magnitude(b, a, 0.95) < 0.05
+
+    def test_stable(self):
+        b, a = design_iir_filter(4, (0.2, 0.5), "bandpass", "chebyshev1")
+        assert TransferFunction(b, a).is_stable()
+
+    def test_digital_order_doubles(self):
+        b, a = design_iir_filter(3, (0.3, 0.6), "bandpass", "butterworth")
+        assert len(a) - 1 == 6
+
+
+class TestValidation:
+    def test_unknown_family(self):
+        with pytest.raises(ValueError):
+            design_iir_filter(4, 0.3, "lowpass", "elliptic")
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            design_iir_filter(4, 0.3, "bandstop", "butterworth")
+
+    def test_cutoff_out_of_range(self):
+        with pytest.raises(ValueError):
+            design_iir_filter(4, 1.2, "lowpass", "butterworth")
+
+    def test_bad_band_edges(self):
+        with pytest.raises(ValueError):
+            design_iir_filter(4, (0.6, 0.3), "bandpass", "butterworth")

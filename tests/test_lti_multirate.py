@@ -1,0 +1,109 @@
+"""Unit and property tests for the multirate operators and PSD rules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.lti.multirate import (
+    downsample,
+    downsample_psd,
+    upsample,
+    upsample_psd,
+)
+
+
+class TestTimeDomainOperators:
+    def test_downsample_keeps_every_other_sample(self):
+        x = np.arange(10)
+        np.testing.assert_array_equal(downsample(x, 2), [0, 2, 4, 6, 8])
+
+    def test_downsample_phase(self):
+        x = np.arange(10)
+        np.testing.assert_array_equal(downsample(x, 2, phase=1), [1, 3, 5, 7, 9])
+
+    def test_upsample_inserts_zeros(self):
+        np.testing.assert_array_equal(upsample(np.array([1.0, 2.0]), 2),
+                                      [1.0, 0.0, 2.0, 0.0])
+
+    def test_downsample_then_upsample_keeps_even_samples(self):
+        x = np.arange(8, dtype=float)
+        y = upsample(downsample(x, 2), 2)
+        np.testing.assert_array_equal(y[::2], x[::2])
+        np.testing.assert_array_equal(y[1::2], 0.0)
+
+    def test_invalid_factor_rejected(self):
+        with pytest.raises(ValueError):
+            downsample(np.arange(4), 0)
+        with pytest.raises(ValueError):
+            upsample(np.arange(4), 0)
+
+    def test_invalid_phase_rejected(self):
+        with pytest.raises(ValueError):
+            downsample(np.arange(4), 2, phase=2)
+
+
+class TestPsdRules:
+    def test_downsample_psd_preserves_power(self):
+        psd = np.random.default_rng(0).uniform(0, 1, 64)
+        folded = downsample_psd(psd, 2)
+        assert np.sum(folded) == pytest.approx(np.sum(psd))
+        assert len(folded) == 32
+
+    def test_downsample_psd_requires_divisible_length(self):
+        with pytest.raises(ValueError):
+            downsample_psd(np.ones(9), 2)
+
+    def test_upsample_psd_halves_power(self):
+        psd = np.random.default_rng(1).uniform(0, 1, 32)
+        imaged = upsample_psd(psd, 2)
+        assert np.sum(imaged) == pytest.approx(np.sum(psd) / 2)
+        assert len(imaged) == 64
+
+    def test_white_spectrum_stays_white_through_both(self):
+        psd = np.full(32, 1.0 / 32)
+        folded = downsample_psd(psd, 2)
+        np.testing.assert_allclose(folded, folded[0])
+        imaged = upsample_psd(psd, 2)
+        np.testing.assert_allclose(imaged, imaged[0])
+
+    @given(st.integers(min_value=1, max_value=4),
+           st.integers(min_value=1, max_value=5))
+    def test_power_bookkeeping_composes(self, log_factor, seed):
+        factor = 2 ** log_factor
+        rng = np.random.default_rng(seed)
+        psd = rng.uniform(0, 1, 16 * factor)
+        total = np.sum(psd)
+        assert np.sum(downsample_psd(psd, factor)) == pytest.approx(total)
+        assert np.sum(upsample_psd(psd, factor)) == pytest.approx(total / factor)
+
+
+class TestPsdRulesAgainstSimulation:
+    """The PSD transformation rules must match measured spectra."""
+
+    def test_downsampled_noise_power_matches(self, rng):
+        from repro.psd.estimation import welch
+        x = rng.standard_normal(60_000)
+        decimated = downsample(x, 2)
+        measured = welch(decimated, 64)
+        assert measured.variance == pytest.approx(1.0, rel=0.05)
+
+    def test_upsampled_noise_power_matches(self, rng):
+        from repro.psd.estimation import welch
+        x = rng.standard_normal(60_000)
+        expanded = upsample(x, 2)
+        measured = welch(expanded, 64)
+        assert measured.variance == pytest.approx(0.5, rel=0.05)
+
+    def test_colored_noise_folding_matches_measurement(self, rng):
+        from repro.psd.estimation import welch
+        from repro.lti.fir_design import design_fir_lowpass
+
+        taps = design_fir_lowpass(31, 0.4)
+        x = np.convolve(rng.standard_normal(120_000), taps)[:120_000]
+        predicted = downsample_psd(welch(x, 64).ac, 2)
+        measured = welch(downsample(x, 2), 32).ac
+        # Compare the coarse spectral shape (binned power).
+        np.testing.assert_allclose(np.sum(predicted), np.sum(measured),
+                                   rtol=0.08)
+        np.testing.assert_allclose(predicted[:8], measured[:8], rtol=0.3,
+                                   atol=1e-4)

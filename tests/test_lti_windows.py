@@ -1,0 +1,66 @@
+"""Unit tests for window functions."""
+
+import numpy as np
+import pytest
+
+from repro.lti.windows import (
+    blackman,
+    get_window,
+    hamming,
+    hann,
+    kaiser,
+    rectangular,
+)
+
+
+class TestIndividualWindows:
+    def test_rectangular_is_all_ones(self):
+        np.testing.assert_array_equal(rectangular(8), np.ones(8))
+
+    def test_hamming_endpoints(self):
+        window = hamming(11)
+        assert window[0] == pytest.approx(0.08, abs=1e-12)
+        assert window[-1] == pytest.approx(0.08, abs=1e-12)
+        assert window[5] == pytest.approx(1.0)
+
+    def test_hann_endpoints_are_zero(self):
+        window = hann(9)
+        assert window[0] == pytest.approx(0.0, abs=1e-15)
+        assert window[-1] == pytest.approx(0.0, abs=1e-15)
+
+    def test_blackman_peak_at_center(self):
+        window = blackman(21)
+        assert np.argmax(window) == 10
+
+    def test_kaiser_monotone_from_edge_to_center(self):
+        window = kaiser(33, beta=8.6)
+        half = window[:17]
+        assert np.all(np.diff(half) >= -1e-12)
+
+    def test_all_windows_symmetric(self):
+        for name in ("rectangular", "hamming", "hann", "blackman", "kaiser"):
+            window = get_window(name, 17)
+            np.testing.assert_allclose(window, window[::-1], atol=1e-12)
+
+    def test_all_windows_bounded_by_one(self):
+        for name in ("rectangular", "hamming", "hann", "blackman", "kaiser"):
+            window = get_window(name, 32)
+            assert np.max(window) <= 1.0 + 1e-12
+            assert np.min(window) >= -1e-12
+
+    def test_length_one_window(self):
+        for name in ("hamming", "hann", "blackman", "kaiser"):
+            np.testing.assert_array_equal(get_window(name, 1), [1.0])
+
+
+class TestGetWindow:
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            get_window("tukey", 8)
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError):
+            get_window("hann", 0)
+
+    def test_case_insensitive(self):
+        np.testing.assert_array_equal(get_window("HaMMing", 8), hamming(8))

@@ -1,0 +1,147 @@
+"""Cross-module property-based tests of the library-wide invariants.
+
+These tests tie together the fixed-point, PSD and analysis layers and
+check the conservation laws the whole methodology rests on:
+
+* total noise power is conserved by the PSD representation regardless of
+  how the frequency grid is chosen or transformed;
+* the analytical estimators are consistent with each other in the regimes
+  where they are supposed to coincide;
+* estimates scale exactly as ``q^2`` with the word length (the property
+  that makes word-length optimization monotone);
+* the separable 2-D noise field agrees with the 1-D machinery on
+  separable inputs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.agnostic_method import evaluate_agnostic
+from repro.analysis.flat_method import evaluate_flat
+from repro.analysis.psd_method import evaluate_psd
+from repro.fixedpoint.noise_model import NoiseStats
+from repro.lti.fir_design import design_fir_lowpass
+from repro.lti.transfer_function import TransferFunction
+from repro.psd.spectrum import DiscretePsd
+from repro.sfg.builder import SfgBuilder
+from repro.systems.dwt.noise_model import SeparableNoiseField
+
+
+def _simple_graph(bits, taps):
+    # Coefficients are pinned to a fixed high precision so that changing the
+    # data word length changes only the data-path noise (which is what the
+    # q^2-scaling property is about), not the effective transfer function.
+    builder = SfgBuilder("prop")
+    x = builder.input("x", fractional_bits=bits)
+    h = builder.fir("h", taps, x, fractional_bits=bits,
+                    coefficient_fractional_bits=24)
+    builder.output("y", h)
+    return builder.build()
+
+
+class TestPsdConservationLaws:
+    @settings(deadline=None, max_examples=30)
+    @given(st.integers(min_value=2, max_value=9),
+           st.integers(min_value=2, max_value=9),
+           st.floats(min_value=1e-6, max_value=10.0),
+           st.floats(min_value=-1.0, max_value=1.0))
+    def test_grid_resampling_never_changes_power(self, log_a, log_b,
+                                                 variance, mean):
+        psd = DiscretePsd.from_moments(mean, variance, 2 ** log_a)
+        resampled = psd.resampled(2 ** log_b)
+        assert resampled.total_power == pytest.approx(psd.total_power,
+                                                      rel=1e-9)
+
+    @settings(deadline=None, max_examples=30)
+    @given(st.integers(min_value=1, max_value=4),
+           st.floats(min_value=1e-6, max_value=10.0))
+    def test_decimation_then_expansion_halves_power_each_round(self, rounds,
+                                                               variance):
+        psd = DiscretePsd.from_moments(0.0, variance, 256)
+        field = SeparableNoiseField.zero(64).injected(NoiseStats(0.0, variance))
+        for _ in range(rounds):
+            psd = psd.downsampled(2).upsampled(2)
+            field = field.downsampled(0).upsampled(0)
+        expected = variance / (2.0 ** rounds)
+        assert psd.variance == pytest.approx(expected, rel=1e-9)
+        assert field.variance == pytest.approx(expected, rel=1e-9)
+
+    @settings(deadline=None, max_examples=20)
+    @given(st.integers(min_value=5, max_value=31).filter(lambda n: n % 2 == 1),
+           st.floats(min_value=0.1, max_value=0.9))
+    def test_filtering_power_matches_parseval(self, taps_count, cutoff):
+        taps = design_fir_lowpass(taps_count, cutoff)
+        tf = TransferFunction.fir(taps)
+        psd = DiscretePsd.from_moments(0.0, 1.0, 1024)
+        filtered = psd.filtered(tf.frequency_response(1024))
+        assert filtered.variance == pytest.approx(tf.energy(), rel=1e-6)
+
+    @settings(deadline=None, max_examples=20)
+    @given(st.floats(min_value=1e-6, max_value=10.0),
+           st.floats(min_value=0.1, max_value=0.9))
+    def test_separable_field_matches_1d_psd_on_row_filtering(self, variance,
+                                                             cutoff):
+        """Filtering along one axis of a white 2-D field equals the 1-D case."""
+        taps = design_fir_lowpass(15, cutoff)
+        field = (SeparableNoiseField.zero(128)
+                 .injected(NoiseStats(0.0, variance))
+                 .filtered(taps, axis=1))
+        psd = DiscretePsd.from_moments(0.0, variance, 128).filtered(
+            TransferFunction.fir(taps).frequency_response(128))
+        assert field.variance == pytest.approx(psd.variance, rel=1e-6)
+
+
+class TestEstimatorConsistency:
+    @settings(deadline=None, max_examples=15)
+    @given(st.integers(min_value=6, max_value=20),
+           st.integers(min_value=5, max_value=41).filter(lambda n: n % 2 == 1),
+           st.floats(min_value=0.15, max_value=0.85))
+    def test_flat_psd_agnostic_coincide_on_single_block(self, bits, taps_count,
+                                                        cutoff):
+        graph = _simple_graph(bits, design_fir_lowpass(taps_count, cutoff))
+        psd = evaluate_psd(graph, 1024).total_power
+        flat = evaluate_flat(graph).power
+        agnostic = evaluate_agnostic(graph).power
+        assert psd == pytest.approx(flat, rel=5e-3)
+        assert agnostic == pytest.approx(flat, rel=5e-3)
+
+    @settings(deadline=None, max_examples=15)
+    @given(st.integers(min_value=6, max_value=16),
+           st.integers(min_value=1, max_value=6))
+    def test_estimates_scale_exactly_as_q_squared(self, bits, extra_bits):
+        taps = design_fir_lowpass(17, 0.4)
+        coarse = evaluate_psd(_simple_graph(bits, taps), 256).total_power
+        fine = evaluate_psd(_simple_graph(bits + extra_bits, taps),
+                            256).total_power
+        assert coarse / fine == pytest.approx(4.0 ** extra_bits, rel=1e-6)
+
+    @settings(deadline=None, max_examples=15)
+    @given(st.integers(min_value=6, max_value=16))
+    def test_more_quantizers_never_reduce_noise(self, bits):
+        """Adding a quantized stage can only add noise."""
+        taps = design_fir_lowpass(17, 0.4)
+        single = evaluate_psd(_simple_graph(bits, taps), 256).total_power
+
+        builder = SfgBuilder("two-stage")
+        x = builder.input("x", fractional_bits=bits)
+        h1 = builder.fir("h1", taps, x, fractional_bits=bits)
+        h2 = builder.fir("h2", [1.0], h1, fractional_bits=bits)
+        builder.output("y", h2)
+        double = evaluate_psd(builder.build(), 256).total_power
+        assert double >= single - 1e-18
+
+    @settings(deadline=None, max_examples=10)
+    @given(st.integers(min_value=4, max_value=10),
+           st.integers(min_value=2, max_value=64))
+    def test_psd_power_independent_of_bin_count_for_white_paths(self, bits,
+                                                                n_bins):
+        """With a pure-gain path the estimate must not depend on N_PSD."""
+        builder = SfgBuilder("gain-only")
+        x = builder.input("x", fractional_bits=bits)
+        g = builder.gain("g", 0.5, x, fractional_bits=bits)
+        builder.output("y", g)
+        graph = builder.build()
+        reference = evaluate_psd(graph, 2).total_power
+        assert evaluate_psd(graph, n_bins).total_power == pytest.approx(
+            reference, rel=1e-9)

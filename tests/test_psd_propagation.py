@@ -1,0 +1,126 @@
+"""Unit tests for per-source tracked spectra and cross-spectrum helpers."""
+
+import numpy as np
+import pytest
+
+from repro.fixedpoint.noise_model import NoiseStats
+from repro.lti.fir_design import design_fir_lowpass
+from repro.lti.transfer_function import TransferFunction
+from repro.psd.cross_spectrum import coherence, cross_power_spectrum
+from repro.psd.propagation import TrackedSpectrum, cross_spectrum_contribution
+from repro.psd.spectrum import DiscretePsd
+
+
+class TestTrackedSpectrum:
+    def test_single_source_matches_discrete_psd(self):
+        stats = NoiseStats(mean=0.1, variance=1.0)
+        tracked = TrackedSpectrum.from_source("s", stats, 64)
+        psd = tracked.to_psd()
+        reference = DiscretePsd.white(stats, 64)
+        assert psd.variance == pytest.approx(reference.variance)
+        assert psd.mean == pytest.approx(reference.mean)
+
+    def test_filtering_matches_discrete_psd(self):
+        stats = NoiseStats(mean=0.0, variance=1.0)
+        taps = design_fir_lowpass(31, 0.3)
+        response = TransferFunction.fir(taps).frequency_response(128)
+        tracked = TrackedSpectrum.from_source("s", stats, 128).filtered(response)
+        reference = DiscretePsd.white(stats, 128).filtered(response)
+        assert tracked.to_psd().variance == pytest.approx(reference.variance)
+
+    def test_independent_sources_add_power(self):
+        a = TrackedSpectrum.from_source("a", NoiseStats(0.0, 1.0), 32)
+        b = TrackedSpectrum.from_source("b", NoiseStats(0.0, 2.0), 32)
+        assert (a + b).total_power == pytest.approx(3.0)
+
+    def test_reconvergent_same_source_adds_coherently(self):
+        """x + x has 4x the power of x, not 2x (full correlation)."""
+        source = TrackedSpectrum.from_source("s", NoiseStats(0.0, 1.0), 32)
+        assert (source + source).total_power == pytest.approx(4.0)
+
+    def test_reconvergent_cancellation(self):
+        """x - x is exactly zero, which uncorrelated addition cannot model."""
+        source = TrackedSpectrum.from_source("s", NoiseStats(0.0, 1.0), 32)
+        cancelled = source + source.scaled(-1.0)
+        assert cancelled.total_power == pytest.approx(0.0, abs=1e-15)
+
+    def test_uncorrelated_addition_differs_from_tracked(self):
+        """The same situation handled with DiscretePsd overestimates."""
+        stats = NoiseStats(0.0, 1.0)
+        uncorrelated = (DiscretePsd.white(stats, 32)
+                        + DiscretePsd.white(stats, 32).scaled(-1.0))
+        assert uncorrelated.total_power == pytest.approx(2.0)
+
+    def test_with_source_rejects_duplicates(self):
+        tracked = TrackedSpectrum.from_source("s", NoiseStats(0.0, 1.0), 16)
+        with pytest.raises(ValueError):
+            tracked.with_source("s", NoiseStats(0.0, 1.0))
+
+    def test_mismatched_bins_rejected(self):
+        a = TrackedSpectrum.zero(16)
+        b = TrackedSpectrum.zero(32)
+        with pytest.raises(ValueError):
+            a + b
+
+    def test_delayed_reconvergence_partial_correlation(self):
+        """x[n] + x[n-1]: power spectrum |1 + e^{-jw}|^2 shaping."""
+        stats = NoiseStats(0.0, 1.0)
+        n = 64
+        direct = TrackedSpectrum.from_source("s", stats, n)
+        delayed = direct.filtered(
+            TransferFunction.delay(1).frequency_response(n))
+        combined = direct + delayed
+        assert combined.total_power == pytest.approx(2.0, rel=1e-9)
+        psd = combined.to_psd()
+        # DC bin gain is |1 + 1|^2 = 4, Nyquist bin gain is 0.
+        assert psd.ac[0] == pytest.approx(4.0 / n, rel=1e-9)
+        assert psd.ac[n // 2] == pytest.approx(0.0, abs=1e-12)
+
+
+class TestCrossSpectrumHelpers:
+    def test_cross_spectrum_of_identical_signals_is_auto(self, rng):
+        from repro.psd.estimation import welch
+        x = rng.standard_normal(40_000)
+        sxx = welch(x, 64).ac
+        sxy = cross_power_spectrum(x, x, 64)
+        # welch() renormalizes its bins to the exact sample variance, the
+        # cross-spectrum estimator does not, so allow a small tolerance.
+        np.testing.assert_allclose(np.real(sxy), sxx, rtol=1e-3)
+
+    def test_cross_spectrum_of_independent_signals_is_small(self, rng):
+        x = rng.standard_normal(60_000)
+        y = rng.standard_normal(60_000)
+        sxy = cross_power_spectrum(x, y, 64)
+        sxx = cross_power_spectrum(x, x, 64)
+        assert np.max(np.abs(sxy)) < 0.2 * np.max(np.abs(sxx))
+
+    def test_length_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            cross_power_spectrum(rng.standard_normal(10),
+                                 rng.standard_normal(20), 8)
+
+    def test_coherence_of_filtered_copy_is_high(self, rng):
+        x = rng.standard_normal(60_000)
+        taps = design_fir_lowpass(15, 0.8)
+        y = np.convolve(x, taps)[:60_000]
+        gamma = coherence(x, y, 64)
+        assert np.mean(gamma[1:20]) > 0.8
+
+    def test_coherence_of_independent_signals_is_low(self, rng):
+        x = rng.standard_normal(60_000)
+        y = rng.standard_normal(60_000)
+        gamma = coherence(x, y, 64)
+        assert np.mean(gamma) < 0.2
+
+    def test_cross_contribution_formula(self):
+        a = DiscretePsd.from_moments(0.0, 1.0, 16)
+        b = DiscretePsd.from_moments(0.0, 4.0, 16)
+        full = cross_spectrum_contribution(a, b, np.ones(16))
+        # 2 * sqrt(S_a S_b) per bin = 2 * sqrt(1/16 * 4/16).
+        np.testing.assert_allclose(full, 2.0 * np.sqrt(1 / 16 * 4 / 16))
+
+    def test_cross_contribution_length_check(self):
+        a = DiscretePsd.zero(16)
+        b = DiscretePsd.zero(16)
+        with pytest.raises(ValueError):
+            cross_spectrum_contribution(a, b, np.ones(8))

@@ -1,0 +1,166 @@
+"""Unit and property tests for :class:`repro.psd.spectrum.DiscretePsd`."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fixedpoint.noise_model import NoiseStats
+from repro.lti.fir_design import design_fir_lowpass
+from repro.lti.transfer_function import TransferFunction
+from repro.psd.spectrum import DiscretePsd
+
+
+class TestConstruction:
+    def test_zero(self):
+        psd = DiscretePsd.zero(16)
+        assert psd.total_power == 0.0
+        assert psd.n_bins == 16
+
+    def test_white_spreads_variance_uniformly(self):
+        psd = DiscretePsd.white(NoiseStats(mean=0.1, variance=1.6), 32)
+        np.testing.assert_allclose(psd.ac, 0.05)
+        assert psd.mean == pytest.approx(0.1)
+
+    def test_total_power_combines_mean_and_variance(self):
+        psd = DiscretePsd.from_moments(mean=0.5, variance=2.0, n_bins=8)
+        assert psd.total_power == pytest.approx(2.25)
+
+    def test_values_property_adds_mean_square_to_dc(self):
+        psd = DiscretePsd.from_moments(mean=0.5, variance=0.8, n_bins=8)
+        assert psd.values[0] == pytest.approx(0.1 + 0.25)
+        assert np.sum(psd.values) == pytest.approx(psd.total_power)
+
+    def test_negative_bins_rejected(self):
+        with pytest.raises(ValueError):
+            DiscretePsd(np.array([0.1, -0.2]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            DiscretePsd(np.array([]))
+
+    def test_to_stats_round_trip(self):
+        stats = NoiseStats(mean=-0.2, variance=0.7)
+        recovered = DiscretePsd.white(stats, 64).to_stats()
+        assert recovered.mean == pytest.approx(stats.mean)
+        assert recovered.variance == pytest.approx(stats.variance)
+
+
+class TestAlgebra:
+    def test_addition_sums_means_and_bins(self):
+        a = DiscretePsd.from_moments(0.1, 1.0, 8)
+        b = DiscretePsd.from_moments(-0.3, 2.0, 8)
+        total = a + b
+        assert total.mean == pytest.approx(-0.2)
+        assert total.variance == pytest.approx(3.0)
+
+    def test_addition_requires_same_bins(self):
+        with pytest.raises(ValueError):
+            DiscretePsd.zero(8) + DiscretePsd.zero(16)
+
+    def test_scaling_squares_the_gain_for_power(self):
+        psd = DiscretePsd.from_moments(0.5, 1.0, 8).scaled(-2.0)
+        assert psd.mean == pytest.approx(-1.0)
+        assert psd.variance == pytest.approx(4.0)
+
+    def test_mul_operator(self):
+        psd = DiscretePsd.from_moments(0.0, 1.0, 8)
+        assert (3.0 * psd).variance == pytest.approx(9.0)
+
+    def test_means_can_cancel(self):
+        a = DiscretePsd.from_moments(0.5, 0.0, 8)
+        b = DiscretePsd.from_moments(-0.5, 0.0, 8)
+        assert (a + b).total_power == pytest.approx(0.0)
+
+
+class TestFiltering:
+    def test_white_noise_through_filter_gets_energy_gain(self):
+        taps = design_fir_lowpass(31, 0.4)
+        tf = TransferFunction.fir(taps)
+        psd = DiscretePsd.from_moments(0.0, 1.0, 512)
+        filtered = psd.filtered(tf.frequency_response(512))
+        assert filtered.variance == pytest.approx(tf.energy(), rel=1e-6)
+
+    def test_mean_follows_dc_gain_with_sign(self):
+        tf = TransferFunction.fir([-0.5, -0.5])
+        psd = DiscretePsd.from_moments(0.4, 1.0, 64)
+        filtered = psd.filtered(tf.frequency_response(64))
+        assert filtered.mean == pytest.approx(-0.4)
+
+    def test_wrong_response_length_rejected(self):
+        psd = DiscretePsd.zero(16)
+        with pytest.raises(ValueError):
+            psd.filtered(np.ones(8))
+
+    def test_delay_preserves_psd(self):
+        psd = DiscretePsd.from_moments(0.1, 1.0, 32)
+        assert psd.delayed().allclose(psd)
+
+    def test_cascaded_filtering_composes(self):
+        taps_a = design_fir_lowpass(15, 0.6)
+        taps_b = design_fir_lowpass(15, 0.3)
+        response_a = TransferFunction.fir(taps_a).frequency_response(256)
+        response_b = TransferFunction.fir(taps_b).frequency_response(256)
+        psd = DiscretePsd.from_moments(0.0, 1.0, 256)
+        one_shot = psd.filtered(response_a * response_b)
+        two_steps = psd.filtered(response_a).filtered(response_b)
+        assert one_shot.allclose(two_steps, rtol=1e-9)
+
+
+class TestMultirate:
+    def test_downsampling_preserves_power(self):
+        psd = DiscretePsd.from_moments(0.2, 1.5, 64)
+        folded = psd.downsampled(2)
+        assert folded.n_bins == 32
+        assert folded.variance == pytest.approx(1.5)
+        assert folded.mean == pytest.approx(0.2)
+
+    def test_upsampling_divides_power_and_mean(self):
+        psd = DiscretePsd.from_moments(0.2, 1.5, 32)
+        imaged = psd.upsampled(2)
+        assert imaged.n_bins == 64
+        assert imaged.variance == pytest.approx(0.75)
+        assert imaged.mean == pytest.approx(0.1)
+
+    def test_down_then_up_power(self):
+        psd = DiscretePsd.from_moments(0.0, 1.0, 64)
+        assert psd.downsampled(2).upsampled(2).variance == pytest.approx(0.5)
+
+
+class TestResampling:
+    def test_downsample_grid_preserves_power(self):
+        psd = DiscretePsd(np.random.default_rng(0).uniform(0, 1, 64), 0.3)
+        resampled = psd.resampled(16)
+        assert resampled.total_power == pytest.approx(psd.total_power)
+
+    def test_upsample_grid_preserves_power(self):
+        psd = DiscretePsd(np.random.default_rng(1).uniform(0, 1, 16), 0.0)
+        resampled = psd.resampled(64)
+        assert resampled.total_power == pytest.approx(psd.total_power)
+
+    def test_incommensurate_grid_preserves_power(self):
+        psd = DiscretePsd(np.random.default_rng(2).uniform(0, 1, 48), 0.1)
+        resampled = psd.resampled(36)
+        assert resampled.total_power == pytest.approx(psd.total_power)
+
+    def test_identity_resampling(self):
+        psd = DiscretePsd(np.random.default_rng(3).uniform(0, 1, 32), 0.1)
+        assert psd.resampled(32).allclose(psd)
+
+
+class TestProperties:
+    @given(st.integers(min_value=2, max_value=256),
+           st.floats(min_value=0.0, max_value=10.0),
+           st.floats(min_value=-3.0, max_value=3.0))
+    def test_white_total_power_exact(self, n_bins, variance, mean):
+        psd = DiscretePsd.from_moments(mean, variance, n_bins)
+        assert psd.total_power == pytest.approx(mean ** 2 + variance, rel=1e-9)
+
+    @given(st.integers(min_value=1, max_value=5),
+           st.floats(min_value=0.01, max_value=5.0))
+    def test_repeated_up_down_power_bookkeeping(self, rounds, variance):
+        psd = DiscretePsd.from_moments(0.0, variance, 64)
+        expected = variance
+        for _ in range(rounds):
+            psd = psd.downsampled(2).upsampled(2)
+            expected /= 2.0
+        assert psd.variance == pytest.approx(expected, rel=1e-9)

@@ -1,0 +1,99 @@
+"""Unit tests for the dual-mode SFG executor."""
+
+import numpy as np
+import pytest
+
+from repro.sfg.builder import SfgBuilder
+from repro.sfg.executor import SfgExecutor
+from repro.lti.fir_design import design_fir_lowpass
+
+
+def _fir_graph(bits=10):
+    builder = SfgBuilder("fir")
+    x = builder.input("x", fractional_bits=bits)
+    h = builder.fir("h", design_fir_lowpass(9, 0.4), x, fractional_bits=bits)
+    builder.output("y", h)
+    return builder.build()
+
+
+class TestDoubleMode:
+    def test_output_matches_direct_filtering(self, rng):
+        graph = _fir_graph()
+        taps = graph.node("h")._effective_transfer_function().b
+        x = rng.uniform(-0.9, 0.9, 300)
+        result = SfgExecutor(graph).run({"x": x})
+        np.testing.assert_allclose(result.output("y"),
+                                   np.convolve(x, taps)[:300])
+
+    def test_keep_signals(self, rng):
+        graph = _fir_graph()
+        x = rng.uniform(-0.9, 0.9, 50)
+        result = SfgExecutor(graph).run({"x": x}, keep_signals=True)
+        assert set(result.signals) == {"x", "h", "y"}
+
+    def test_signals_not_kept_by_default(self, rng):
+        graph = _fir_graph()
+        result = SfgExecutor(graph).run({"x": rng.uniform(-1, 1, 10)})
+        assert result.signals == {}
+
+    def test_multi_output_requires_name(self, rng):
+        builder = SfgBuilder()
+        x = builder.input("x")
+        h1 = builder.fir("h1", [1.0], x)
+        h2 = builder.fir("h2", [0.5], x)
+        builder.output("y1", h1)
+        builder.output("y2", h2)
+        result = SfgExecutor(builder.build()).run({"x": rng.uniform(-1, 1, 5)})
+        with pytest.raises(ValueError):
+            result.output()
+        assert len(result.output("y2")) == 5
+
+    def test_missing_stimulus_rejected(self):
+        graph = _fir_graph()
+        with pytest.raises(ValueError):
+            SfgExecutor(graph).run({})
+
+    def test_unknown_mode_rejected(self, rng):
+        graph = _fir_graph()
+        with pytest.raises(ValueError):
+            SfgExecutor(graph).run({"x": rng.uniform(-1, 1, 5)}, mode="half")
+
+
+class TestFixedMode:
+    def test_all_signals_on_grid(self, rng):
+        graph = _fir_graph(bits=8)
+        x = rng.uniform(-0.9, 0.9, 200)
+        result = SfgExecutor(graph).run({"x": x}, mode="fixed",
+                                        keep_signals=True)
+        for name, signal in result.signals.items():
+            scaled = signal * 2 ** 8
+            np.testing.assert_allclose(scaled, np.round(scaled), atol=1e-9,
+                                       err_msg=f"signal {name} off grid")
+
+    def test_error_shrinks_with_word_length(self, rng):
+        x = rng.uniform(-0.9, 0.9, 2000)
+        errors = []
+        for bits in (6, 10, 14):
+            executor = SfgExecutor(_fir_graph(bits))
+            errors.append(np.mean(executor.run_error({"x": x}) ** 2))
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_run_error_is_fixed_minus_double(self, rng):
+        graph = _fir_graph(bits=6)
+        executor = SfgExecutor(graph)
+        x = rng.uniform(-0.9, 0.9, 100)
+        reference = executor.run({"x": x}).output("y")
+        fixed = executor.run({"x": x}, mode="fixed").output("y")
+        np.testing.assert_allclose(executor.run_error({"x": x}),
+                                   fixed - reference)
+
+    def test_error_power_close_to_pqn_prediction(self, rng):
+        """Single FIR block: measured noise ~ (input + output source) model."""
+        from repro.analysis.psd_method import evaluate_psd
+
+        graph = _fir_graph(bits=10)
+        executor = SfgExecutor(graph)
+        x = rng.uniform(-0.9, 0.9, 60_000)
+        measured = np.mean(executor.run_error({"x": x})[100:] ** 2)
+        predicted = evaluate_psd(graph, 512).total_power
+        assert measured == pytest.approx(predicted, rel=0.15)

@@ -1,0 +1,163 @@
+"""Unit tests for the SFG node vocabulary."""
+
+import numpy as np
+import pytest
+
+from repro.fixedpoint.noise_model import NoiseStats
+from repro.fixedpoint.quantizer import RoundingMode
+from repro.psd.spectrum import DiscretePsd
+from repro.sfg.nodes import (
+    AddNode,
+    DelayNode,
+    DownsampleNode,
+    FirNode,
+    GainNode,
+    IirNode,
+    InputNode,
+    LtiNode,
+    OutputNode,
+    QuantizationSpec,
+    UpsampleNode,
+)
+from repro.lti.transfer_function import TransferFunction
+
+
+class TestQuantizationSpec:
+    def test_disabled_spec(self):
+        spec = QuantizationSpec(None)
+        assert not spec.enabled
+        assert spec.noise_stats().power == 0.0
+        with pytest.raises(ValueError):
+            spec.quantizer()
+
+    def test_enabled_spec_noise_model(self):
+        spec = QuantizationSpec(8, rounding=RoundingMode.ROUND)
+        stats = spec.noise_stats()
+        assert stats.variance == pytest.approx((2.0 ** -8) ** 2 / 12)
+        assert stats.mean == 0.0
+
+    def test_coefficient_bits_default_to_data_bits(self):
+        assert QuantizationSpec(10).coeff_bits == 10
+        assert QuantizationSpec(10, coefficient_fractional_bits=14).coeff_bits == 14
+
+    def test_with_fractional_bits(self):
+        spec = QuantizationSpec(10, rounding=RoundingMode.TRUNCATE)
+        changed = spec.with_fractional_bits(6)
+        assert changed.fractional_bits == 6
+        assert changed.rounding is RoundingMode.TRUNCATE
+
+
+class TestSimulationBehaviour:
+    def test_add_node_sums_with_signs(self):
+        node = AddNode("sum", num_inputs=2, signs=[1.0, -1.0])
+        out = node.simulate([np.array([1.0, 2.0]), np.array([0.5, 0.5])])
+        np.testing.assert_allclose(out, [0.5, 1.5])
+
+    def test_add_node_sign_count_checked(self):
+        with pytest.raises(ValueError):
+            AddNode("sum", num_inputs=2, signs=[1.0])
+
+    def test_gain_node_uses_quantized_coefficient(self):
+        node = GainNode("g", 0.3, QuantizationSpec(2))
+        out = node.simulate([np.array([1.0])])
+        assert out[0] == pytest.approx(0.25)
+
+    def test_delay_node_shifts(self):
+        node = DelayNode("d", 2)
+        out = node.simulate([np.arange(5, dtype=float)])
+        np.testing.assert_allclose(out, [0, 0, 0, 1, 2])
+
+    def test_delay_zero_is_identity(self):
+        node = DelayNode("d", 0)
+        np.testing.assert_allclose(node.simulate([np.arange(3, dtype=float)]),
+                                   [0, 1, 2])
+
+    def test_fir_node_simulate_fixed_on_grid(self, rng):
+        node = FirNode("h", [0.3, 0.3, 0.3], QuantizationSpec(8))
+        out = node.simulate_fixed([rng.uniform(-1, 1, 100)])
+        scaled = out * 2 ** 8
+        np.testing.assert_allclose(scaled, np.round(scaled), atol=1e-9)
+
+    def test_iir_node_simulate_fixed_on_grid(self, rng):
+        node = IirNode("h", [0.2, 0.2], [1.0, -0.5], QuantizationSpec(8))
+        out = node.simulate_fixed([rng.uniform(-1, 1, 100)])
+        scaled = out * 2 ** 8
+        np.testing.assert_allclose(scaled, np.round(scaled), atol=1e-9)
+
+    def test_downsample_and_upsample_nodes(self):
+        down = DownsampleNode("d", 2)
+        up = UpsampleNode("u", 2)
+        x = np.arange(8, dtype=float)
+        np.testing.assert_allclose(down.simulate([x]), [0, 2, 4, 6])
+        np.testing.assert_allclose(up.simulate([np.array([1.0, 2.0])]),
+                                   [1, 0, 2, 0])
+
+    def test_lti_node_filters(self, rng):
+        tf = TransferFunction([1.0], [1.0, -0.5])
+        node = LtiNode("l", tf)
+        x = rng.standard_normal(50)
+        np.testing.assert_allclose(node.simulate([x]), tf.filter(x))
+
+    def test_output_node_passthrough(self):
+        node = OutputNode("y")
+        np.testing.assert_allclose(node.simulate([np.array([1.0, 2.0])]),
+                                   [1.0, 2.0])
+
+    def test_input_node_cannot_simulate(self):
+        with pytest.raises(RuntimeError):
+            InputNode("x").simulate([])
+
+
+class TestPropagationRules:
+    def test_fir_stats_propagation_uses_energy_and_dc_gain(self):
+        node = FirNode("h", [0.5, 0.5])
+        stats = node.propagate_stats([NoiseStats(mean=0.2, variance=1.0)])
+        assert stats.variance == pytest.approx(0.5)
+        assert stats.mean == pytest.approx(0.2)
+
+    def test_fir_psd_propagation_shapes_spectrum(self):
+        node = FirNode("h", [0.5, 0.5])
+        psd = node.propagate_psd([DiscretePsd.from_moments(0.0, 1.0, 64)], 64)
+        # |H|^2 at DC is 1, at Nyquist is 0.
+        assert psd.ac[0] == pytest.approx(1.0 / 64)
+        assert psd.ac[32] == pytest.approx(0.0, abs=1e-12)
+
+    def test_add_node_psd_propagation(self):
+        node = AddNode("sum", num_inputs=2, signs=[1.0, -1.0])
+        a = DiscretePsd.from_moments(0.2, 1.0, 32)
+        b = DiscretePsd.from_moments(0.2, 2.0, 32)
+        combined = node.propagate_psd([a, b], 32)
+        assert combined.variance == pytest.approx(3.0)
+        assert combined.mean == pytest.approx(0.0, abs=1e-15)
+
+    def test_downsample_psd_propagation_halves_bins(self):
+        node = DownsampleNode("d", 2)
+        psd = node.propagate_psd([DiscretePsd.from_moments(0.0, 1.0, 64)], 64)
+        assert psd.n_bins == 32
+        assert psd.variance == pytest.approx(1.0)
+
+    def test_upsample_stats_propagation(self):
+        node = UpsampleNode("u", 2)
+        stats = node.propagate_stats([NoiseStats(mean=0.4, variance=1.0)])
+        assert stats.variance == pytest.approx(0.5)
+        assert stats.mean == pytest.approx(0.2)
+
+    def test_multirate_tracked_propagation_not_supported(self):
+        node = DownsampleNode("d", 2)
+        with pytest.raises(NotImplementedError):
+            node.propagate_tracked([], 16)
+
+    def test_iir_noise_shaping_function(self):
+        node = IirNode("h", [1.0], [1.0, -0.5], QuantizationSpec(8))
+        shaping = node.noise_shaping_function()
+        assert shaping.dc_gain() == pytest.approx(2.0)
+
+    def test_generated_noise_follows_spec(self):
+        node = FirNode("h", [1.0], QuantizationSpec(6, RoundingMode.TRUNCATE))
+        stats = node.generated_noise()
+        assert stats.mean == pytest.approx(-(2.0 ** -6) / 2)
+
+    def test_input_node_zero_propagation(self):
+        node = InputNode("x", QuantizationSpec(8))
+        assert node.propagate_stats([]).power == 0.0
+        assert node.propagate_psd([], 16).total_power == 0.0

@@ -1,0 +1,154 @@
+"""Unit tests for graph serialization and the CLI front end."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.psd_method import evaluate_psd
+from repro.cli import main as cli_main
+from repro.lti.fir_design import design_fir_lowpass
+from repro.lti.iir_design import design_iir_filter
+from repro.lti.transfer_function import TransferFunction
+from repro.sfg.builder import SfgBuilder
+from repro.sfg.executor import SfgExecutor
+from repro.sfg.nodes import LtiNode
+from repro.sfg.serialization import (
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    save_graph,
+)
+
+
+def _rich_graph():
+    """A graph touching every serializable node type."""
+    b, a = design_iir_filter(2, 0.4, "lowpass", "butterworth")
+    builder = SfgBuilder("rich")
+    x = builder.input("x", fractional_bits=12)
+    fir = builder.fir("fir", design_fir_lowpass(9, 0.4), x, fractional_bits=12)
+    gain = builder.gain("gain", 0.75, fir, fractional_bits=12)
+    delay = builder.delay("delay", gain, samples=2)
+    iir = builder.iir("iir", b, a, delay, fractional_bits=12)
+    down = builder.downsample("down", iir, factor=2)
+    up = builder.upsample("up", down, factor=2)
+    lti = builder.lti("lti", TransferFunction([0.5, 0.5]), up)
+    mix = builder.add("mix", [lti, gain], signs=[1.0, -1.0],
+                      fractional_bits=12)
+    builder.output("y", mix)
+    return builder.build()
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_structure(self):
+        graph = _rich_graph()
+        rebuilt = graph_from_dict(graph_to_dict(graph))
+        assert set(rebuilt.nodes) == set(graph.nodes)
+        assert len(rebuilt.edges) == len(graph.edges)
+
+    def test_round_trip_preserves_behaviour(self, rng):
+        graph = _rich_graph()
+        rebuilt = graph_from_dict(graph_to_dict(graph))
+        x = rng.uniform(-0.9, 0.9, 512)
+        original = SfgExecutor(graph).run({"x": x}, mode="fixed").output("y")
+        restored = SfgExecutor(rebuilt).run({"x": x}, mode="fixed").output("y")
+        np.testing.assert_allclose(restored, original)
+
+    def test_round_trip_preserves_noise_estimate(self):
+        graph = _rich_graph()
+        rebuilt = graph_from_dict(graph_to_dict(graph))
+        assert evaluate_psd(rebuilt, 128).total_power == pytest.approx(
+            evaluate_psd(graph, 128).total_power)
+
+    def test_file_round_trip(self, tmp_path, rng):
+        graph = _rich_graph()
+        path = tmp_path / "system.json"
+        save_graph(graph, path)
+        rebuilt = load_graph(path)
+        x = rng.uniform(-0.9, 0.9, 128)
+        np.testing.assert_allclose(
+            SfgExecutor(rebuilt).run({"x": x}).output("y"),
+            SfgExecutor(graph).run({"x": x}).output("y"))
+
+    def test_quantization_specs_preserved(self):
+        graph = _rich_graph()
+        rebuilt = graph_from_dict(graph_to_dict(graph))
+        assert rebuilt.node("fir").quantization.fractional_bits == 12
+        assert not rebuilt.node("delay").quantization.enabled
+
+    def test_serialized_file_is_human_readable_json(self, tmp_path):
+        path = tmp_path / "system.json"
+        save_graph(_rich_graph(), path)
+        data = json.loads(path.read_text())
+        assert data["version"] == 1
+        assert any(node["type"] == "iir" for node in data["nodes"])
+
+
+class TestValidation:
+    def test_unknown_node_type_rejected(self):
+        with pytest.raises(ValueError):
+            graph_from_dict({"version": 1, "name": "bad",
+                             "nodes": [{"name": "x", "type": "modulator"}],
+                             "edges": []})
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(ValueError):
+            graph_from_dict({"version": 99, "nodes": [], "edges": []})
+
+    def test_missing_name_rejected(self):
+        with pytest.raises(ValueError):
+            graph_from_dict({"version": 1,
+                             "nodes": [{"type": "input"}], "edges": []})
+
+    def test_unserializable_node_rejected(self):
+        from repro.systems.freq_filter import FrequencyDomainFirNode
+        from repro.sfg.graph import SignalFlowGraph
+        from repro.sfg.nodes import InputNode, OutputNode
+
+        graph = SignalFlowGraph("custom")
+        graph.add_node(InputNode("x"))
+        graph.add_node(FrequencyDomainFirNode("f", [1.0, 0.5], fft_size=8))
+        graph.add_node(OutputNode("y"))
+        graph.connect("x", "f")
+        graph.connect("f", "y")
+        with pytest.raises(TypeError):
+            graph_to_dict(graph)
+
+
+class TestCli:
+    @pytest.fixture
+    def system_file(self, tmp_path):
+        path = tmp_path / "system.json"
+        builder = SfgBuilder("cli-system")
+        x = builder.input("x", fractional_bits=10)
+        h = builder.fir("h", design_fir_lowpass(9, 0.4), x, fractional_bits=10)
+        builder.output("y", h)
+        save_graph(builder.build(), path)
+        return path
+
+    def test_evaluate_command(self, system_file, capsys):
+        assert cli_main(["evaluate", str(system_file), "--method", "psd",
+                         "--n-psd", "128"]) == 0
+        output = capsys.readouterr().out
+        assert "estimated output noise power" in output
+
+    def test_simulate_command(self, system_file, capsys):
+        assert cli_main(["simulate", str(system_file),
+                         "--samples", "5000"]) == 0
+        assert "simulated output noise power" in capsys.readouterr().out
+
+    def test_compare_command(self, system_file, capsys):
+        assert cli_main(["compare", str(system_file), "--samples", "5000",
+                         "--methods", "psd", "flat"]) == 0
+        output = capsys.readouterr().out
+        assert "psd" in output and "flat" in output
+
+    def test_optimize_command(self, system_file, capsys):
+        assert cli_main(["optimize", str(system_file),
+                         "--budget", "1e-5", "--n-psd", "64"]) == 0
+        assert "optimized word lengths" in capsys.readouterr().out
+
+    def test_missing_file_reports_error(self, tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        assert cli_main(["evaluate", str(missing)]) == 1
+        assert "error:" in capsys.readouterr().err

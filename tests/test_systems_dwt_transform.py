@@ -1,0 +1,145 @@
+"""Unit tests for the Daubechies 9/7 filters and transform engines."""
+
+import numpy as np
+import pytest
+
+from repro.fixedpoint.qformat import QFormat
+from repro.fixedpoint.quantizer import Quantizer
+from repro.systems.dwt.daubechies97 import daubechies_9_7_filters
+from repro.systems.dwt.dwt1d import analyze_1d, circular_filter, synthesize_1d
+from repro.systems.dwt.dwt2d import (
+    analyze_2d,
+    analyze_multilevel,
+    synthesize_2d,
+    synthesize_multilevel,
+)
+
+
+class TestFilterBank:
+    def test_lowpass_dc_gains(self):
+        filters = daubechies_9_7_filters()
+        assert np.sum(filters.analysis_lowpass) == pytest.approx(1.0, abs=1e-6)
+        assert np.sum(filters.synthesis_lowpass) == pytest.approx(2.0, abs=1e-6)
+
+    def test_highpass_filters_reject_dc(self):
+        filters = daubechies_9_7_filters()
+        assert np.sum(filters.analysis_highpass) == pytest.approx(0.0, abs=1e-6)
+        assert np.sum(filters.synthesis_highpass) == pytest.approx(0.0, abs=1e-6)
+
+    def test_filter_lengths(self):
+        filters = daubechies_9_7_filters()
+        assert len(filters.analysis_lowpass) == 9
+        assert len(filters.analysis_highpass) == 7
+        assert len(filters.synthesis_lowpass) == 7
+        assert len(filters.synthesis_highpass) == 9
+
+    def test_quantized_copy_on_grid(self):
+        filters = daubechies_9_7_filters().quantized(8)
+        scaled = filters.analysis_lowpass * 2 ** 8
+        np.testing.assert_allclose(scaled, np.round(scaled), atol=1e-9)
+
+
+class TestCircularFilter:
+    def test_identity_filter(self, rng):
+        x = rng.standard_normal(16)
+        np.testing.assert_allclose(circular_filter(x, np.array([1.0]), 0), x)
+
+    def test_centered_delay_is_roll(self, rng):
+        x = rng.standard_normal(16)
+        # taps [0, 1] with center 0 -> y[n] = x[n+1] is a left roll.
+        result = circular_filter(x, np.array([0.0, 1.0]), 0)
+        np.testing.assert_allclose(result, np.roll(x, -1))
+
+    def test_2d_filtering_along_each_axis(self, rng):
+        image = rng.standard_normal((8, 8))
+        rows = circular_filter(image, np.array([0.5, 0.5]), 0, axis=1)
+        cols = circular_filter(image, np.array([0.5, 0.5]), 0, axis=0)
+        assert rows.shape == image.shape
+        assert not np.allclose(rows, cols)
+
+    def test_quantizer_applied(self, rng):
+        x = rng.uniform(-1, 1, 32)
+        quantizer = Quantizer(QFormat(3, 4))
+        y = circular_filter(x, np.array([0.3, 0.7]), 0, quantizer=quantizer)
+        scaled = y * 2 ** 4
+        np.testing.assert_allclose(scaled, np.round(scaled), atol=1e-9)
+
+
+class TestPerfectReconstruction1d:
+    def test_random_signal_reconstructed(self, rng):
+        filters = daubechies_9_7_filters()
+        x = rng.standard_normal(64)
+        low, high = analyze_1d(x, filters)
+        reconstructed = synthesize_1d(low, high, filters)
+        np.testing.assert_allclose(reconstructed, x, atol=1e-10)
+
+    def test_band_lengths(self, rng):
+        filters = daubechies_9_7_filters()
+        x = rng.standard_normal(64)
+        low, high = analyze_1d(x, filters)
+        assert len(low) == 32 and len(high) == 32
+
+    def test_constant_signal_goes_to_lowband(self):
+        filters = daubechies_9_7_filters()
+        x = np.full(32, 0.5)
+        low, high = analyze_1d(x, filters)
+        assert np.max(np.abs(high)) < 1e-10
+        np.testing.assert_allclose(synthesize_1d(low, high, filters), x,
+                                   atol=1e-12)
+
+    def test_2d_rows_and_columns(self, rng):
+        filters = daubechies_9_7_filters()
+        image = rng.standard_normal((32, 32))
+        low, high = analyze_1d(image, filters, axis=0)
+        reconstructed = synthesize_1d(low, high, filters, axis=0)
+        np.testing.assert_allclose(reconstructed, image, atol=1e-10)
+
+
+class TestPerfectReconstruction2d:
+    def test_one_level(self, small_image):
+        filters = daubechies_9_7_filters()
+        subbands = analyze_2d(small_image, filters)
+        assert set(subbands) == {"ll", "lh", "hl", "hh"}
+        assert subbands["ll"].shape == (16, 16)
+        reconstructed = synthesize_2d(subbands, filters)
+        np.testing.assert_allclose(reconstructed, small_image, atol=1e-10)
+
+    def test_two_levels(self, small_image):
+        filters = daubechies_9_7_filters()
+        pyramid = analyze_multilevel(small_image, filters, 2)
+        assert len(pyramid["levels"]) == 2
+        assert pyramid["ll"].shape == (8, 8)
+        reconstructed = synthesize_multilevel(pyramid, filters)
+        np.testing.assert_allclose(reconstructed, small_image, atol=1e-10)
+
+    def test_three_levels(self, rng):
+        from repro.data.images import natural_image
+        filters = daubechies_9_7_filters()
+        image = natural_image(64, seed=2)
+        pyramid = analyze_multilevel(image, filters, 3)
+        reconstructed = synthesize_multilevel(pyramid, filters)
+        np.testing.assert_allclose(reconstructed, image, atol=1e-9)
+
+    def test_odd_sizes_rejected(self, rng):
+        filters = daubechies_9_7_filters()
+        with pytest.raises(ValueError):
+            analyze_2d(rng.standard_normal((15, 16)), filters)
+
+    def test_non_2d_rejected(self, rng):
+        filters = daubechies_9_7_filters()
+        with pytest.raises(ValueError):
+            analyze_2d(rng.standard_normal(16), filters)
+
+    def test_invalid_level_count_rejected(self, small_image):
+        filters = daubechies_9_7_filters()
+        with pytest.raises(ValueError):
+            analyze_multilevel(small_image, filters, 0)
+
+    def test_energy_concentrated_in_ll(self, small_image):
+        """For natural images the LL band holds most of the energy."""
+        filters = daubechies_9_7_filters()
+        subbands = analyze_2d(small_image, filters)
+        ll_energy = np.sum(subbands["ll"] ** 2)
+        detail_energy = sum(np.sum(subbands[k] ** 2)
+                            for k in ("lh", "hl", "hh"))
+        assert ll_energy > 5 * detail_energy

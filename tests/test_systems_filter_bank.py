@@ -1,0 +1,108 @@
+"""Unit tests for the Table-I filter-bank generator and evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.lti.transfer_function import TransferFunction
+from repro.systems.filter_bank import (
+    FilterBankResult,
+    build_filter_graph,
+    evaluate_filter_bank,
+    generate_fir_bank,
+    generate_iir_bank,
+)
+
+
+class TestBankGeneration:
+    def test_fir_bank_size_and_uniqueness(self):
+        bank = generate_fir_bank(30)
+        assert len(bank) == 30
+        assert len({entry.name for entry in bank}) == 30
+
+    def test_fir_bank_covers_all_kinds(self):
+        kinds = {entry.kind for entry in generate_fir_bank(12)}
+        assert kinds == {"lowpass", "highpass", "bandpass"}
+
+    def test_fir_bank_tap_range(self):
+        bank = generate_fir_bank(147)
+        orders = [entry.order for entry in bank]
+        assert min(orders) >= 15
+        assert max(orders) <= 129
+
+    def test_fir_entries_are_fir(self):
+        for entry in generate_fir_bank(9):
+            assert entry.is_fir
+            assert entry.a == (1.0,)
+
+    def test_iir_bank_size_and_stability(self):
+        bank = generate_iir_bank(30)
+        assert len(bank) == 30
+        for entry in bank:
+            assert not entry.is_fir
+            assert TransferFunction(list(entry.b), list(entry.a)).is_stable()
+
+    def test_iir_bank_order_range(self):
+        orders = [entry.order for entry in generate_iir_bank(60)]
+        assert min(orders) >= 2
+        assert max(orders) <= 10
+
+    def test_full_paper_bank_sizes(self):
+        assert len(generate_fir_bank(147)) == 147
+        assert len(generate_iir_bank(147)) == 147
+
+    def test_determinism(self):
+        a = generate_fir_bank(10, seed=1)
+        b = generate_fir_bank(10, seed=1)
+        assert [e.b for e in a] == [e.b for e in b]
+
+
+class TestGraphConstruction:
+    def test_fir_graph_structure(self):
+        entry = generate_fir_bank(1)[0]
+        graph = build_filter_graph(entry, fractional_bits=12)
+        assert set(graph.nodes) == {"x", "filter", "y"}
+        assert graph.node("x").quantization.fractional_bits == 12
+
+    def test_iir_graph_structure(self):
+        entry = generate_iir_bank(1)[0]
+        graph = build_filter_graph(entry, fractional_bits=10)
+        assert graph.node("filter").quantization.fractional_bits == 10
+
+
+class TestResultContainer:
+    def test_summary_statistics(self):
+        result = FilterBankResult()
+        result.add("a", 0.01)
+        result.add("b", -0.02)
+        result.add("c", 0.005)
+        assert result.count == 3
+        assert result.min_ed == pytest.approx(-0.02)
+        assert result.max_ed == pytest.approx(0.01)
+        assert result.mean_abs_ed == pytest.approx((0.01 + 0.02 + 0.005) / 3)
+        row = result.summary_row()
+        assert row[0] == pytest.approx(-2.0)
+
+
+class TestSmallBankEvaluation:
+    def test_fir_subset_is_sub_one_percent(self):
+        bank = generate_fir_bank(4)
+        result = evaluate_filter_bank(bank, fractional_bits=14,
+                                      num_samples=15_000, n_psd=512)
+        assert result.count == 4
+        assert result.mean_abs_ed < 0.05
+
+    def test_iir_subset_within_paper_band(self):
+        bank = generate_iir_bank(3)
+        result = evaluate_filter_bank(bank, fractional_bits=14,
+                                      num_samples=15_000, n_psd=512)
+        assert result.count == 3
+        # The paper reports IIR deviations up to ~31 %; allow a wide band
+        # but require the estimates to stay within one bit.
+        assert result.mean_abs_ed < 0.5
+
+    def test_truncation_mode_supported(self):
+        bank = generate_fir_bank(2)
+        result = evaluate_filter_bank(bank, fractional_bits=12,
+                                      num_samples=10_000, n_psd=256,
+                                      rounding="truncate")
+        assert result.mean_abs_ed < 0.2

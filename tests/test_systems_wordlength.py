@@ -1,0 +1,89 @@
+"""Unit tests for the word-length optimization use-case."""
+
+import pytest
+
+from repro.analysis.psd_method import evaluate_psd
+from repro.lti.fir_design import design_fir_highpass, design_fir_lowpass
+from repro.sfg.builder import SfgBuilder
+from repro.systems.wordlength import WordLengthOptimizer
+
+
+def _two_stage_graph(bits=12):
+    builder = SfgBuilder("wl")
+    x = builder.input("x", fractional_bits=bits)
+    lp = builder.fir("lp", design_fir_lowpass(15, 0.4), x, fractional_bits=bits)
+    hp = builder.fir("hp", design_fir_highpass(15, 0.5), lp, fractional_bits=bits)
+    builder.output("y", hp)
+    return builder.build()
+
+
+class TestUniformSearch:
+    def test_uniform_search_meets_budget(self):
+        graph = _two_stage_graph()
+        optimizer = WordLengthOptimizer(graph, method="psd", n_psd=128,
+                                        min_bits=4, max_bits=20)
+        budget = 1e-7
+        assignment = optimizer.uniform_search(budget)
+        assert len(set(assignment.values())) == 1
+        assert evaluate_psd(graph, 128).total_power <= budget
+
+    def test_tighter_budget_needs_more_bits(self):
+        graph = _two_stage_graph()
+        optimizer = WordLengthOptimizer(graph, n_psd=128, min_bits=4,
+                                        max_bits=22)
+        loose = optimizer.uniform_search(1e-5)
+        tight = optimizer.uniform_search(1e-9)
+        assert list(tight.values())[0] > list(loose.values())[0]
+
+    def test_impossible_budget_rejected(self):
+        optimizer = WordLengthOptimizer(_two_stage_graph(), n_psd=64,
+                                        min_bits=4, max_bits=8)
+        with pytest.raises(ValueError):
+            optimizer.uniform_search(1e-12)
+
+    def test_non_positive_budget_rejected(self):
+        optimizer = WordLengthOptimizer(_two_stage_graph(), n_psd=64)
+        with pytest.raises(ValueError):
+            optimizer.uniform_search(0.0)
+
+
+class TestGreedyOptimization:
+    def test_result_meets_budget_and_beats_uniform(self):
+        graph = _two_stage_graph()
+        optimizer = WordLengthOptimizer(graph, method="psd", n_psd=128,
+                                        min_bits=4, max_bits=20)
+        budget = 1e-7
+        uniform = optimizer.uniform_search(budget)
+        result = optimizer.optimize(budget)
+        assert result.noise_power <= budget
+        assert result.total_bits <= sum(uniform.values())
+        assert result.evaluations > 0
+        assert result.history[0][0] >= result.history[-1][0]
+
+    def test_assignment_applied_to_graph(self):
+        graph = _two_stage_graph()
+        optimizer = WordLengthOptimizer(graph, n_psd=64, min_bits=4,
+                                        max_bits=18)
+        result = optimizer.optimize(1e-6)
+        for name, bits in result.assignment.items():
+            assert graph.node(name).quantization.fractional_bits == bits
+
+    def test_agnostic_and_flat_drivers_also_work(self):
+        for method in ("agnostic", "flat"):
+            graph = _two_stage_graph()
+            optimizer = WordLengthOptimizer(graph, method=method, n_psd=64,
+                                            min_bits=4, max_bits=18)
+            result = optimizer.optimize(1e-6)
+            assert result.noise_power <= 1e-6
+
+    def test_graph_without_quantized_nodes_rejected(self):
+        builder = SfgBuilder("plain")
+        x = builder.input("x")
+        h = builder.fir("h", [1.0], x)
+        builder.output("y", h)
+        with pytest.raises(ValueError):
+            WordLengthOptimizer(builder.build())
+
+    def test_invalid_bit_range_rejected(self):
+        with pytest.raises(ValueError):
+            WordLengthOptimizer(_two_stage_graph(), min_bits=8, max_bits=4)

@@ -1,0 +1,91 @@
+"""Unit tests for the utility helpers (tables, timing, validation)."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils.tables import TextTable
+from repro.utils.timing import Stopwatch, time_callable
+from repro.utils.validation import (
+    check_positive_int,
+    check_probability,
+    check_same_length,
+)
+
+
+class TestTextTable:
+    def test_render_contains_headers_and_rows(self):
+        table = TextTable(["name", "value"], title="results")
+        table.add_row("alpha", 1.25)
+        table.add_row("beta", 2)
+        text = table.render()
+        assert "results" in text
+        assert "alpha" in text and "beta" in text
+        assert "1.25" in text
+
+    def test_column_count_enforced(self):
+        table = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row("only-one")
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError):
+            TextTable([])
+
+    def test_alignment_widths(self):
+        table = TextTable(["x"])
+        table.add_row("a-very-long-cell")
+        lines = table.render().splitlines()
+        assert len(lines[0]) == len(lines[2])
+
+
+class TestTiming:
+    def test_stopwatch_accumulates(self):
+        watch = Stopwatch()
+        with watch:
+            time.sleep(0.01)
+        first = watch.elapsed
+        with watch:
+            time.sleep(0.01)
+        assert watch.elapsed > first
+
+    def test_stopwatch_reset(self):
+        watch = Stopwatch()
+        with watch:
+            pass
+        watch.reset()
+        assert watch.elapsed == 0.0
+
+    def test_time_callable_returns_result_and_positive_time(self):
+        result, seconds = time_callable(sum, [1, 2, 3], repeat=3)
+        assert result == 6
+        assert seconds >= 0.0
+
+    def test_time_callable_rejects_zero_repeat(self):
+        with pytest.raises(ValueError):
+            time_callable(sum, [1], repeat=0)
+
+
+class TestValidation:
+    def test_check_positive_int(self):
+        assert check_positive_int(3, "n") == 3
+        with pytest.raises(ValueError):
+            check_positive_int(0, "n")
+        with pytest.raises(TypeError):
+            check_positive_int(2.5, "n")
+        with pytest.raises(TypeError):
+            check_positive_int(True, "n")
+
+    def test_check_probability(self):
+        assert check_probability(0.5, "p") == 0.5
+        with pytest.raises(ValueError):
+            check_probability(1.5, "p")
+
+    def test_check_same_length(self):
+        check_same_length([1, 2], [3, 4])
+        with pytest.raises(ValueError):
+            check_same_length([1], [1, 2], "a", "b")
+
+    def test_numpy_integers_accepted(self):
+        assert check_positive_int(np.int64(4), "n") == 4
