@@ -1,0 +1,106 @@
+"""Compiled-plan speedup — repeated evaluation and word-length search.
+
+The compiled-plan layer exists to make *repeated* evaluation cheap: the
+validated topological schedule, the index-resolved wiring, the noise-source
+set and the per-block frequency responses are all derived once and replayed
+on every subsequent call.  This harness quantifies that against the
+seed-equivalent behaviour (one fresh compilation — validation, ordering,
+edge resolution, response computation — per evaluation, which is exactly
+what the library did before plans existed):
+
+* 50 consecutive ``estimate("psd")`` calls on the Fig. 2 frequency-domain
+  filter system;
+* one full greedy word-length search on a five-stage FIR/IIR cascade,
+  whose inner loop performs hundreds of analytical evaluations.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.psd_method import evaluate_psd
+from repro.lti.fir_design import design_fir_lowpass
+from repro.lti.iir_design import design_iir_filter
+from repro.sfg.builder import SfgBuilder
+from repro.sfg.plan import CompiledPlan, compile_plan
+from repro.systems.freq_filter import build_frequency_filter_graph
+from repro.systems.wordlength import WordLengthOptimizer
+from repro.utils.tables import TextTable
+
+from conftest import write_report
+
+
+def _timed(callable_, repeat: int) -> float:
+    start = time.perf_counter()
+    for _ in range(repeat):
+        callable_()
+    return (time.perf_counter() - start) / repeat
+
+
+def test_plan_compiled_speedup(bench_config, results_dir):
+    n_psd = bench_config["default_n_psd"]
+
+    # --- 50 consecutive PSD estimates on the Fig. 2 system ----------------
+    graph = build_frequency_filter_graph(fractional_bits=12)
+    plan = compile_plan(graph)
+    evaluate_psd(plan, n_psd)  # warm the response cache once
+    repeated_calls = 50
+    cached_time = _timed(lambda: evaluate_psd(plan, n_psd), repeated_calls)
+    fresh_time = _timed(lambda: evaluate_psd(CompiledPlan(graph), n_psd), 10)
+
+    # --- one word-length search on a multi-stage cascade ------------------
+    # Five tunable stages give the greedy refinement a real search space
+    # (a few hundred analytical evaluations).
+    def _cascade_graph():
+        b, a = design_iir_filter(4, 0.3, kind="lowpass",
+                                 family="butterworth")
+        builder = SfgBuilder("cascade")
+        signal = builder.input("x", fractional_bits=16)
+        signal = builder.fir("fir1", design_fir_lowpass(16, 0.45), signal,
+                             fractional_bits=16)
+        signal = builder.iir("iir1", b, a, signal, fractional_bits=16)
+        signal = builder.gain("gain1", 0.8, signal, fractional_bits=16)
+        signal = builder.fir("fir2", design_fir_lowpass(12, 0.35), signal,
+                             fractional_bits=16)
+        builder.output("y", signal)
+        return builder.build()
+
+    budget = 1e-6
+    search_graph = _cascade_graph()
+    optimizer = WordLengthOptimizer(search_graph, method="psd",
+                                    n_psd=min(256, n_psd))
+    start = time.perf_counter()
+    result = optimizer.optimize(budget)
+    search_time = time.perf_counter() - start
+
+    # Seed-equivalent search cost: the same number of evaluations, each
+    # compiling from scratch (no shared schedule, no response cache).
+    baseline_graph = _cascade_graph()
+    per_eval_fresh = _timed(
+        lambda: evaluate_psd(CompiledPlan(baseline_graph),
+                             min(256, n_psd)), 10)
+    baseline_search_time = per_eval_fresh * result.evaluations
+
+    table = TextTable(
+        ["workload", "compiled plan [s]", "per-call compile [s]", "speed-up"],
+        title=(f"Compiled-plan speedup ({bench_config['mode']} mode, "
+               f"N_PSD={n_psd})"))
+    table.add_row(f"{repeated_calls}x estimate('psd'), Fig. 2 system",
+                  round(repeated_calls * cached_time, 5),
+                  round(repeated_calls * fresh_time, 5),
+                  round(fresh_time / cached_time, 1))
+    table.add_row(f"word-length search ({result.evaluations} evals, "
+                  "5-stage cascade)",
+                  round(search_time, 5),
+                  round(baseline_search_time, 5),
+                  round(baseline_search_time / search_time, 1))
+    write_report(results_dir, "plan_compiled_speedup.txt", table.render())
+
+    # The whole point of the plan layer: repeated evaluation must be
+    # substantially faster than compiling on every call.
+    assert cached_time < fresh_time, \
+        "a cached plan must beat per-call compilation"
+    assert fresh_time / cached_time > 2.0, \
+        "repeated estimation should be at least 2x faster through the plan"
+    assert search_time < baseline_search_time, \
+        "the word-length search must profit from plan reuse"

@@ -39,7 +39,7 @@ from repro.analysis.agnostic_method import evaluate_agnostic
 from repro.analysis.flat_method import evaluate_flat
 from repro.fixedpoint import QFormat, Quantizer, RoundingMode
 from repro.psd import DiscretePsd
-from repro.sfg import SfgBuilder, SignalFlowGraph
+from repro.sfg import CompiledPlan, SfgBuilder, SignalFlowGraph, compile_plan
 
 __version__ = "1.0.0"
 
@@ -75,6 +75,8 @@ __all__ = [
     "DiscretePsd",
     "SignalFlowGraph",
     "SfgBuilder",
+    "CompiledPlan",
+    "compile_plan",
     "quickstart_fir_graph",
     "__version__",
 ]

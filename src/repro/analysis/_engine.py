@@ -7,6 +7,14 @@ quantization-noise source at its output.  The only thing that changes
 between methods is the *representation* and its propagation rules, which
 are already encapsulated in the node classes; this module factors the
 traversal itself.
+
+The traversal runs over a :class:`~repro.sfg.plan.CompiledPlan`:
+validation, topological ordering and noise-source discovery happen once at
+plan compilation, and each walk simply replays the index-based schedule.
+Per-node frequency responses (block responses and IIR noise-shaping
+responses) come from the plan's memoized cache, so repeated evaluations of
+the same graph — the word-length optimizer's inner loop, the execution-time
+benchmark — skip every FFT-sized computation after the first call.
 """
 
 from __future__ import annotations
@@ -17,69 +25,30 @@ from repro.fixedpoint.noise_model import NoiseStats
 from repro.psd.spectrum import DiscretePsd
 from repro.psd.propagation import TrackedSpectrum
 from repro.sfg.graph import SignalFlowGraph
-from repro.sfg.nodes import IirNode, InputNode, Node
+from repro.sfg.nodes import Node, _LtiMixin
+from repro.sfg.plan import CompiledPlan, compile_plan, walk_plan
 
 
-def node_noise_sources(graph: SignalFlowGraph) -> dict[str, NoiseStats]:
+def node_noise_sources(system: SignalFlowGraph | CompiledPlan
+                       ) -> dict[str, NoiseStats]:
     """Moments of the noise source generated at each node (if any)."""
-    sources: dict[str, NoiseStats] = {}
-    for name, node in graph.nodes.items():
-        stats = node.generated_noise()
-        if stats.variance > 0.0 or stats.mean != 0.0:
-            sources[name] = stats
-    return sources
+    plan = compile_plan(system)
+    return {step.name: step.noise for step in plan.noise_steps}
 
 
-def shaped_own_noise_psd(node: Node, stats: NoiseStats,
-                         n_bins: int) -> DiscretePsd:
-    """PSD of a node's own noise source as seen at the node output.
-
-    For most nodes the quantizer sits directly at the output, so the noise
-    is white there.  For IIR blocks the quantizer is inside the recursion
-    and its noise is shaped by ``1 / A(z)`` before reaching the output.
-    """
-    psd = DiscretePsd.white(stats, n_bins)
-    if isinstance(node, IirNode):
-        response = node.noise_shaping_function().frequency_response(n_bins)
-        psd = psd.filtered(response)
-    return psd
-
-
-def shaped_own_noise_stats(node: Node, stats: NoiseStats) -> NoiseStats:
-    """Moments of a node's own noise source as seen at the node output.
-
-    The PSD-agnostic rule: the white source is propagated through the
-    shaping function using only the impulse-response energy and the DC
-    gain.
-    """
-    if isinstance(node, IirNode):
-        shaping = node.noise_shaping_function()
-        return NoiseStats(mean=stats.mean * shaping.coefficient_sum(),
-                          variance=stats.variance * shaping.energy())
-    return stats
-
-
-def shaped_own_noise_tracked(node: Node, stats: NoiseStats,
-                             n_bins: int) -> TrackedSpectrum:
-    """Tracked spectrum of a node's own noise source at the node output."""
-    tracked = TrackedSpectrum.from_source(node.name, stats, n_bins)
-    if isinstance(node, IirNode):
-        response = node.noise_shaping_function().frequency_response(n_bins)
-        tracked = tracked.filtered(response)
-    return tracked
-
-
-def walk(graph: SignalFlowGraph, n_bins: int,
+def walk(system: SignalFlowGraph | CompiledPlan, n_bins: int,
          zero: Callable[[Node], object],
          propagate: Callable[[Node, list], object],
          inject: Callable[[Node, NoiseStats, object], object],
          ) -> dict[str, object]:
-    """Generic noise-propagation traversal.
+    """Generic noise-propagation traversal (node-level callbacks).
 
     Parameters
     ----------
-    graph:
-        Validated acyclic signal-flow graph.
+    system:
+        Acyclic signal-flow graph, or a plan compiled from one; a bare
+        graph is compiled (and the compiled plan cached per graph), so
+        validation happens once per structure, not once per walk.
     n_bins:
         Number of PSD bins (unused by moment-only representations but part
         of the shared signature).
@@ -99,18 +68,70 @@ def walk(graph: SignalFlowGraph, n_bins: int,
     dict
         Mapping from node name to the noise representation at its output.
     """
-    graph.validate()
-    order = graph.topological_order()
-    results: dict[str, object] = {}
-    for name in order:
-        node = graph.node(name)
-        if isinstance(node, InputNode) or node.num_inputs == 0:
-            representation = zero(node)
-        else:
-            inputs = [results[edge.source] for edge in graph.predecessors(name)]
-            representation = propagate(node, inputs)
-        own = node.generated_noise()
-        if own.variance > 0.0 or own.mean != 0.0:
-            representation = inject(node, own, representation)
-        results[name] = representation
-    return results
+    plan = compile_plan(system)
+    return walk_plan(
+        plan,
+        zero=lambda step: zero(step.node),
+        propagate=lambda step, inputs: propagate(step.node, inputs),
+        inject=lambda step, acc: inject(step.node, step.noise, acc),
+    )
+
+
+# ----------------------------------------------------------------------
+# Cached plan walks, one per noise representation
+# ----------------------------------------------------------------------
+def walk_psd(plan: CompiledPlan, n_psd: int) -> dict[str, DiscretePsd]:
+    """PSD propagation over a compiled plan, with cached block responses."""
+    def propagate(step, inputs):
+        node = step.node
+        if isinstance(node, _LtiMixin):
+            # Same rule as Node.propagate_psd, but the block response is
+            # sampled once per (node, bins) and memoized on the plan.  The
+            # input PSD may live on fewer bins than n_psd when the signal
+            # was decimated upstream.
+            (psd,) = inputs
+            return psd.filtered(plan.block_response(step, psd.n_bins))
+        return node.propagate_psd(inputs, n_psd)
+
+    return walk_plan(
+        plan,
+        zero=lambda step: DiscretePsd.zero(n_psd),
+        propagate=propagate,
+        inject=lambda step, acc: acc + plan.shaped_noise_psd(step, acc.n_bins),
+    )
+
+
+def walk_stats(plan: CompiledPlan) -> dict[str, NoiseStats]:
+    """Moment propagation over a compiled plan, with cached block gains."""
+    def propagate(step, inputs):
+        node = step.node
+        if isinstance(node, _LtiMixin):
+            (stats,) = inputs
+            energy, dc = plan.block_gains(step)
+            return NoiseStats(mean=stats.mean * dc,
+                              variance=stats.variance * energy)
+        return node.propagate_stats(inputs)
+
+    return walk_plan(
+        plan,
+        zero=lambda step: NoiseStats(0.0, 0.0),
+        propagate=propagate,
+        inject=lambda step, acc: acc + plan.shaped_noise_stats(step),
+    )
+
+
+def walk_tracked(plan: CompiledPlan, n_psd: int) -> dict[str, TrackedSpectrum]:
+    """Per-source tracked propagation with cached complex responses."""
+    def propagate(step, inputs):
+        node = step.node
+        if isinstance(node, _LtiMixin):
+            (tracked,) = inputs
+            return tracked.filtered(plan.block_response(step, n_psd))
+        return node.propagate_tracked(inputs, n_psd)
+
+    return walk_plan(
+        plan,
+        zero=lambda step: TrackedSpectrum.zero(n_psd),
+        propagate=propagate,
+        inject=lambda step, acc: acc + plan.shaped_noise_tracked(step, n_psd),
+    )

@@ -20,20 +20,22 @@ of the paper whenever an upstream block has colored the noise.
 
 from __future__ import annotations
 
-from repro.analysis._engine import shaped_own_noise_stats, walk
+from repro.analysis._engine import walk_stats
 from repro.fixedpoint.noise_model import NoiseStats
 from repro.sfg.graph import SignalFlowGraph
+from repro.sfg.plan import CompiledPlan, compile_plan
 
 
-def evaluate_agnostic(graph: SignalFlowGraph,
+def evaluate_agnostic(system: SignalFlowGraph | CompiledPlan,
                       output: str | None = None) -> NoiseStats:
     """Estimate the output-noise moments with the PSD-agnostic method.
 
     Parameters
     ----------
-    graph:
+    system:
         Acyclic signal-flow graph with per-node
-        :class:`~repro.sfg.nodes.QuantizationSpec` assignments.
+        :class:`~repro.sfg.nodes.QuantizationSpec` assignments, or a
+        :class:`CompiledPlan` compiled from one.
     output:
         Name of the output node to evaluate; may be omitted when the graph
         has exactly one output.
@@ -44,34 +46,12 @@ def evaluate_agnostic(graph: SignalFlowGraph,
         Estimated mean and variance of the output quantization noise.  The
         estimated noise power is ``result.power``.
     """
-    results = walk(
-        graph,
-        n_bins=0,
-        zero=lambda node: NoiseStats(0.0, 0.0),
-        propagate=lambda node, inputs: node.propagate_stats(inputs),
-        inject=lambda node, stats, acc: acc + shaped_own_noise_stats(node, stats),
-    )
-    return results[_resolve_output(graph, output)]
+    plan = compile_plan(system)
+    results = walk_stats(plan)
+    return results[plan.resolve_output(output)]
 
 
-def evaluate_agnostic_all(graph: SignalFlowGraph) -> dict[str, NoiseStats]:
+def evaluate_agnostic_all(system: SignalFlowGraph | CompiledPlan
+                          ) -> dict[str, NoiseStats]:
     """Per-node noise moments (useful for word-length refinement loops)."""
-    return walk(
-        graph,
-        n_bins=0,
-        zero=lambda node: NoiseStats(0.0, 0.0),
-        propagate=lambda node, inputs: node.propagate_stats(inputs),
-        inject=lambda node, stats, acc: acc + shaped_own_noise_stats(node, stats),
-    )
-
-
-def _resolve_output(graph: SignalFlowGraph, output: str | None) -> str:
-    outputs = graph.output_names()
-    if output is not None:
-        if output not in outputs:
-            raise ValueError(f"{output!r} is not an output node of the graph")
-        return output
-    if len(outputs) != 1:
-        raise ValueError(
-            f"graph has {len(outputs)} outputs; specify which one to evaluate")
-    return outputs[0]
+    return walk_stats(compile_plan(system))

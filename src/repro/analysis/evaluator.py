@@ -22,6 +22,7 @@ from repro.analysis.psd_method import evaluate_psd, evaluate_psd_tracked
 from repro.analysis.report import AccuracyReport, EstimateResult
 from repro.analysis.simulation_method import SimulationEvaluator, SimulationResult
 from repro.sfg.graph import SignalFlowGraph
+from repro.sfg.plan import compile_plan
 
 _ANALYTICAL_METHODS = ("psd", "psd_tracked", "flat", "agnostic")
 
@@ -63,7 +64,25 @@ class AccuracyEvaluator:
         self.graph = graph
         self.n_psd = n_psd
         self.name = name or graph.name
-        self._simulator = SimulationEvaluator(graph)
+        # The graph is compiled once; every estimate / simulation call then
+        # replays the plan (validation, ordering, wiring and the
+        # frequency-response cache are all reused across calls).
+        self.plan = compile_plan(graph)
+        self._simulator = SimulationEvaluator(self.plan)
+
+    def _resolve_plan(self):
+        """Current plan for the graph, tracking structural changes.
+
+        compile_plan is a cheap signature check when nothing changed; when
+        the graph was rewired since the last call, the simulator is
+        rebuilt alongside the plan so estimates and simulations always
+        describe the same system.
+        """
+        plan = compile_plan(self.graph)
+        if plan is not self.plan:
+            self.plan = plan
+            self._simulator = SimulationEvaluator(plan)
+        return plan
 
     # ------------------------------------------------------------------
     # Individual methods
@@ -86,21 +105,24 @@ class AccuracyEvaluator:
             raise ValueError(
                 f"unknown method {method!r}; expected one of {_ANALYTICAL_METHODS}")
         bins = n_psd or self.n_psd
+        # Re-resolving picks up in-place quantization / coefficient changes
+        # and structural rewires made since the last call.
+        plan = self._resolve_plan()
         start = time.perf_counter()
         if method == "psd":
-            psd = evaluate_psd(self.graph, bins, output=output)
+            psd = evaluate_psd(plan, bins, output=output)
             power, mean, variance = psd.total_power, psd.mean, psd.variance
             used_bins = bins
         elif method == "psd_tracked":
-            psd = evaluate_psd_tracked(self.graph, bins, output=output)
+            psd = evaluate_psd_tracked(plan, bins, output=output)
             power, mean, variance = psd.total_power, psd.mean, psd.variance
             used_bins = bins
         elif method == "flat":
-            stats = evaluate_flat(self.graph, output=output)
+            stats = evaluate_flat(plan, output=output)
             power, mean, variance = stats.power, stats.mean, stats.variance
             used_bins = None
         else:  # agnostic
-            stats = evaluate_agnostic(self.graph, output=output)
+            stats = evaluate_agnostic(plan, output=output)
             power, mean, variance = stats.power, stats.mean, stats.variance
             used_bins = None
         elapsed = time.perf_counter() - start
@@ -111,7 +133,12 @@ class AccuracyEvaluator:
     def simulate(self, stimulus, output: str | None = None,
                  n_psd: int | None = None,
                  discard_transient: int = 0) -> SimulationResult:
-        """Run the Monte-Carlo reference on one stimulus."""
+        """Run the Monte-Carlo reference on one stimulus.
+
+        A 2-D ``(trials, samples)`` stimulus runs the whole batch in one
+        vectorized pass.
+        """
+        self._resolve_plan()
         return self._simulator.evaluate(stimulus, output=output,
                                         n_psd=n_psd,
                                         discard_transient=discard_transient)

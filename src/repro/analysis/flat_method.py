@@ -28,15 +28,15 @@ from repro.sfg.nodes import (
     AddNode,
     DownsampleNode,
     IirNode,
-    InputNode,
     Node,
     OutputNode,
     UpsampleNode,
     _LtiMixin,
 )
+from repro.sfg.plan import CompiledPlan, compile_plan
 
 
-def source_path_functions(graph: SignalFlowGraph,
+def source_path_functions(system: SignalFlowGraph | CompiledPlan,
                           output: str | None = None
                           ) -> dict[str, TransferFunction]:
     """Path transfer function from every noise source to the output.
@@ -46,41 +46,38 @@ def source_path_functions(graph: SignalFlowGraph,
     is pre-shaped by ``1 / A(z)`` (the quantizer lives inside the
     recursion).
     """
-    graph.validate()
-    output_name = _resolve_output(graph, output)
-    order = graph.topological_order()
+    plan = compile_plan(system)
+    output_name = plan.resolve_output(output)
 
-    # paths[node] maps source name -> transfer function from the source to
+    # paths[index] maps source name -> transfer function from the source to
     # this node's output.
-    paths: dict[str, dict[str, TransferFunction]] = {}
-    for name in order:
-        node = graph.node(name)
+    paths: list[dict[str, TransferFunction]] = [None] * len(plan.steps)
+    for step in plan.steps:
+        node = step.node
         _reject_multirate(node)
-        if isinstance(node, InputNode) or node.num_inputs == 0:
+        if step.is_source:
             accumulated: dict[str, TransferFunction] = {}
         else:
-            input_maps = [paths[edge.source]
-                          for edge in graph.predecessors(name)]
-            accumulated = _propagate_paths(node, input_maps)
-        own = node.generated_noise()
-        if own.variance > 0.0 or own.mean != 0.0:
-            shaping = (node.noise_shaping_function()
+            input_maps = [paths[i] for i in step.predecessors]
+            accumulated = _propagate_paths(node, input_maps, plan, step)
+        if step.noise is not None:
+            shaping = (plan.shaping_tf(step)
                        if isinstance(node, IirNode)
                        else TransferFunction.identity())
-            if name in accumulated:
-                accumulated[name] = accumulated[name].parallel(shaping)
+            if step.name in accumulated:
+                accumulated[step.name] = accumulated[step.name].parallel(shaping)
             else:
-                accumulated[name] = shaping
-        paths[name] = accumulated
-    return paths[output_name]
+                accumulated[step.name] = shaping
+        paths[step.index] = accumulated
+    return paths[plan.index_of[output_name]]
 
 
-def evaluate_flat(graph: SignalFlowGraph,
+def evaluate_flat(system: SignalFlowGraph | CompiledPlan,
                   output: str | None = None) -> NoiseStats:
     """Estimate the output-noise moments with the flat method (Eq. 4)."""
-    path_functions = source_path_functions(graph, output)
-    sources = {name: graph.node(name).generated_noise()
-               for name in path_functions}
+    plan = compile_plan(system)
+    path_functions = source_path_functions(plan, output)
+    sources = {step.name: step.noise for step in plan.noise_steps}
 
     total_variance = 0.0
     mean_contributions = []
@@ -96,8 +93,8 @@ def evaluate_flat(graph: SignalFlowGraph,
 
 
 def _propagate_paths(node: Node,
-                     input_maps: list[dict[str, TransferFunction]]
-                     ) -> dict[str, TransferFunction]:
+                     input_maps: list[dict[str, TransferFunction]],
+                     plan: CompiledPlan, step) -> dict[str, TransferFunction]:
     """Apply a node's transfer behaviour to per-source path functions."""
     if isinstance(node, OutputNode):
         (single,) = input_maps
@@ -114,7 +111,7 @@ def _propagate_paths(node: Node,
         return merged
     if isinstance(node, _LtiMixin):
         (single,) = input_maps
-        block_tf = node._effective_transfer_function()
+        block_tf = plan.block_tf(step)
         return {source: tf.cascade(block_tf) for source, tf in single.items()}
     raise NotImplementedError(
         f"flat method cannot propagate through node type "
@@ -126,15 +123,3 @@ def _reject_multirate(node: Node) -> None:
         raise NotImplementedError(
             "the flat analytical method only supports single-rate LTI "
             f"graphs; found multirate node {node.name!r}")
-
-
-def _resolve_output(graph: SignalFlowGraph, output: str | None) -> str:
-    outputs = graph.output_names()
-    if output is not None:
-        if output not in outputs:
-            raise ValueError(f"{output!r} is not an output node of the graph")
-        return output
-    if len(outputs) != 1:
-        raise ValueError(
-            f"graph has {len(outputs)} outputs; specify which one to evaluate")
-    return outputs[0]

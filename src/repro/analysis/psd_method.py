@@ -12,7 +12,10 @@ spectral density (``N_PSD`` bins) plus the signed mean of the noise:
 
 The cost of one evaluation is linear in ``N_PSD`` and in the number of
 blocks; the block magnitude responses are computed once (``O(N log N)``)
-and can be reused for any number of word-length configurations.
+and can be reused for any number of word-length configurations.  That
+reuse is realised through :class:`~repro.sfg.plan.CompiledPlan`: every
+function here accepts either a graph or a compiled plan, and the plan
+memoizes the per-block frequency responses across calls.
 
 :func:`evaluate_psd_tracked` additionally keeps, for every noise source,
 the complex response of the path to the output, which makes re-convergent
@@ -23,25 +26,23 @@ is used in the correlation ablation.
 
 from __future__ import annotations
 
-from repro.analysis._engine import (
-    shaped_own_noise_psd,
-    shaped_own_noise_tracked,
-    walk,
-)
+from repro.analysis._engine import walk_psd, walk_tracked
 from repro.psd.spectrum import DiscretePsd
-from repro.psd.propagation import TrackedSpectrum
 from repro.sfg.graph import SignalFlowGraph
 from repro.sfg.nodes import DownsampleNode, UpsampleNode
+from repro.sfg.plan import CompiledPlan, compile_plan
 
 
-def evaluate_psd(graph: SignalFlowGraph, n_psd: int,
+def evaluate_psd(system: SignalFlowGraph | CompiledPlan, n_psd: int,
                  output: str | None = None) -> DiscretePsd:
     """Estimate the output-noise PSD with the proposed method.
 
     Parameters
     ----------
-    graph:
-        Acyclic signal-flow graph with per-node quantization specs.
+    system:
+        Acyclic signal-flow graph with per-node quantization specs, or a
+        :class:`CompiledPlan` compiled from one (pass the plan when the
+        same system is evaluated repeatedly).
     n_psd:
         Number of PSD bins (``N_PSD`` in the paper).  Accuracy improves and
         cost grows linearly with this number (Figs. 5 and 6).
@@ -55,31 +56,19 @@ def evaluate_psd(graph: SignalFlowGraph, n_psd: int,
         noise power is ``result.total_power``.
     """
     _check_bins(n_psd)
-    results = walk(
-        graph,
-        n_bins=n_psd,
-        zero=lambda node: DiscretePsd.zero(n_psd),
-        propagate=lambda node, inputs: node.propagate_psd(inputs, n_psd),
-        inject=lambda node, stats, acc: acc + shaped_own_noise_psd(
-            node, stats, acc.n_bins),
-    )
-    return results[_resolve_output(graph, output)]
+    plan = compile_plan(system)
+    results = walk_psd(plan, n_psd)
+    return results[plan.resolve_output(output)]
 
 
-def evaluate_psd_all(graph: SignalFlowGraph, n_psd: int) -> dict[str, DiscretePsd]:
+def evaluate_psd_all(system: SignalFlowGraph | CompiledPlan,
+                     n_psd: int) -> dict[str, DiscretePsd]:
     """Per-node noise PSDs (useful for refinement and for Fig. 7-style maps)."""
     _check_bins(n_psd)
-    return walk(
-        graph,
-        n_bins=n_psd,
-        zero=lambda node: DiscretePsd.zero(n_psd),
-        propagate=lambda node, inputs: node.propagate_psd(inputs, n_psd),
-        inject=lambda node, stats, acc: acc + shaped_own_noise_psd(
-            node, stats, acc.n_bins),
-    )
+    return walk_psd(compile_plan(system), n_psd)
 
 
-def evaluate_psd_tracked(graph: SignalFlowGraph, n_psd: int,
+def evaluate_psd_tracked(system: SignalFlowGraph | CompiledPlan, n_psd: int,
                          output: str | None = None) -> DiscretePsd:
     """Correlation-exact variant: per-source complex path responses.
 
@@ -88,16 +77,10 @@ def evaluate_psd_tracked(graph: SignalFlowGraph, n_psd: int,
     at the sample level.
     """
     _check_bins(n_psd)
-    _reject_multirate(graph, "evaluate_psd_tracked")
-    results = walk(
-        graph,
-        n_bins=n_psd,
-        zero=lambda node: TrackedSpectrum.zero(n_psd),
-        propagate=lambda node, inputs: node.propagate_tracked(inputs, n_psd),
-        inject=lambda node, stats, acc: acc + shaped_own_noise_tracked(
-            node, stats, n_psd),
-    )
-    tracked = results[_resolve_output(graph, output)]
+    plan = compile_plan(system)
+    _reject_multirate(plan.graph, "evaluate_psd_tracked")
+    results = walk_tracked(plan, n_psd)
+    tracked = results[plan.resolve_output(output)]
     return tracked.to_psd()
 
 
@@ -112,15 +95,3 @@ def _reject_multirate(graph: SignalFlowGraph, caller: str) -> None:
 def _check_bins(n_psd: int) -> None:
     if n_psd < 2:
         raise ValueError(f"n_psd must be at least 2, got {n_psd}")
-
-
-def _resolve_output(graph: SignalFlowGraph, output: str | None) -> str:
-    outputs = graph.output_names()
-    if output is not None:
-        if output not in outputs:
-            raise ValueError(f"{output!r} is not an output node of the graph")
-        return output
-    if len(outputs) != 1:
-        raise ValueError(
-            f"graph has {len(outputs)} outputs; specify which one to evaluate")
-    return outputs[0]

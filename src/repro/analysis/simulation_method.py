@@ -10,11 +10,17 @@ Fig. 7.
 
 The evaluator accepts either
 
-* a :class:`~repro.sfg.graph.SignalFlowGraph` (executed with
-  :class:`~repro.sfg.executor.SfgExecutor`), or
+* a :class:`~repro.sfg.graph.SignalFlowGraph` or a pre-compiled
+  :class:`~repro.sfg.plan.CompiledPlan` (executed with
+  :class:`~repro.sfg.executor.SfgExecutor`, both precision modes in one
+  traversal), or
 * any object implementing the :class:`FixedPointSystem` protocol —
   ``run_reference(stimulus)`` and ``run_fixed_point(stimulus)`` — which is
   how the frequency-domain filter and the DWT codec plug in.
+
+For SFG systems the stimulus may be a 2-D array of shape ``(trials,
+samples)``: the whole Monte-Carlo batch then runs as one vectorized pass
+and the measured moments aggregate over all trials.
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ from repro.psd.estimation import estimate_psd
 from repro.psd.spectrum import DiscretePsd
 from repro.sfg.executor import SfgExecutor
 from repro.sfg.graph import SignalFlowGraph
+from repro.sfg.plan import CompiledPlan
 
 
 @runtime_checkable
@@ -55,7 +62,8 @@ class SimulationResult:
     error_psd:
         Welch estimate of the error PSD (``None`` unless requested).
     num_samples:
-        Number of output samples used for the measurement.
+        Number of output samples used for the measurement (summed over
+        trials for batched runs).
     """
 
     error_power: float
@@ -73,8 +81,9 @@ class SimulationEvaluator:
     """Monte-Carlo evaluation of the output quantization noise."""
 
     def __init__(self, system):
-        """``system`` is a :class:`SignalFlowGraph` or a :class:`FixedPointSystem`."""
-        if isinstance(system, SignalFlowGraph):
+        """``system`` is a :class:`SignalFlowGraph`, a
+        :class:`CompiledPlan` or a :class:`FixedPointSystem`."""
+        if isinstance(system, (SignalFlowGraph, CompiledPlan)):
             self._executor = SfgExecutor(system)
             self._system = None
         elif isinstance(system, FixedPointSystem):
@@ -82,8 +91,8 @@ class SimulationEvaluator:
             self._system = system
         else:
             raise TypeError(
-                "system must be a SignalFlowGraph or implement "
-                "run_reference / run_fixed_point")
+                "system must be a SignalFlowGraph, a CompiledPlan or "
+                "implement run_reference / run_fixed_point")
 
     # ------------------------------------------------------------------
     # Error signal
@@ -95,15 +104,18 @@ class SimulationEvaluator:
         ----------
         stimulus:
             For SFG systems, a mapping from input-node name to its sample
-            vector (a bare array is accepted for single-input graphs).
+            vector (a bare array is accepted for single-input graphs); 2-D
+            arrays of shape ``(trials, samples)`` run the whole batch in
+            one pass and produce a 2-D error record.
             For protocol systems, whatever their ``run_*`` methods expect.
         output:
             Output-node name for multi-output SFGs.
         """
         if self._executor is not None:
             stimulus = self._normalize_stimulus(stimulus)
-            reference = self._executor.run(stimulus, mode="double").output(output)
-            fixed = self._executor.run(stimulus, mode="fixed").output(output)
+            reference, fixed = self._executor.run_pair(stimulus)
+            reference = reference.output(output)
+            fixed = fixed.output(output)
         else:
             reference = np.asarray(self._system.run_reference(stimulus), dtype=float)
             fixed = np.asarray(self._system.run_fixed_point(stimulus), dtype=float)
@@ -111,7 +123,10 @@ class SimulationEvaluator:
             raise ValueError(
                 "reference and fixed-point outputs have different shapes: "
                 f"{reference.shape} vs {fixed.shape}")
-        return (fixed - reference).ravel()
+        error = fixed - reference
+        if self._executor is not None and error.ndim > 1:
+            return error
+        return error.ravel()
 
     def evaluate(self, stimulus, output: str | None = None,
                  n_psd: int | None = None,
@@ -125,30 +140,41 @@ class SimulationEvaluator:
         output:
             Output-node name for multi-output SFGs.
         n_psd:
-            When given, also estimate the error PSD on that many bins.
+            When given, also estimate the error PSD on that many bins
+            (averaged over trials for batched runs).
         discard_transient:
             Number of leading output samples to drop before measuring
             (filters have a start-up transient during which the noise is
-            not yet stationary).
+            not yet stationary); applied per trial for batched runs.
         """
         error = self.error_signal(stimulus, output=output)
         if discard_transient:
-            if discard_transient >= len(error):
+            if discard_transient >= error.shape[-1]:
                 raise ValueError(
                     f"cannot discard {discard_transient} samples from a "
-                    f"record of length {len(error)}")
-            error = error[discard_transient:]
-        psd = estimate_psd(error, n_psd) if n_psd else None
+                    f"record of length {error.shape[-1]}")
+            error = error[..., discard_transient:]
+        psd = self._error_psd(error, n_psd) if n_psd else None
         return SimulationResult(
             error_power=noise_power(error),
             error_mean=float(np.mean(error)),
             error_psd=psd,
-            num_samples=len(error),
+            num_samples=error.size,
         )
 
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
+    @staticmethod
+    def _error_psd(error: np.ndarray, n_psd: int) -> DiscretePsd:
+        if error.ndim == 1:
+            return estimate_psd(error, n_psd)
+        # Batched record: average the per-trial Welch estimates.
+        trials = [estimate_psd(row, n_psd) for row in error]
+        ac = np.mean([psd.ac for psd in trials], axis=0)
+        mean = float(np.mean([psd.mean for psd in trials]))
+        return DiscretePsd(ac, mean)
+
     def _normalize_stimulus(self, stimulus) -> dict:
         if isinstance(stimulus, dict):
             return stimulus

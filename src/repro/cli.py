@@ -11,6 +11,14 @@ The system description is the JSON schema of
 :mod:`repro.sfg.serialization`.  Stimuli for the simulation-based commands
 are generated internally (uniform white noise) so the tool works without
 any data files.
+
+Every command follows the library's graph → plan → run pipeline (see
+ARCHITECTURE.md): the loaded graph is compiled once into a
+:class:`~repro.sfg.plan.CompiledPlan` — validation, topological ordering
+and frequency-response computation happen at that point — and all
+subsequent evaluations replay the plan.  This matters most for
+``optimize``, whose greedy refinement re-evaluates the system hundreds of
+times on the shared plan.
 """
 
 from __future__ import annotations

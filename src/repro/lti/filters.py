@@ -70,6 +70,20 @@ class FixedPointFilterConfig:
                          rounding=RoundingMode.ROUND)
 
 
+def _causal_fir(x: np.ndarray, taps: np.ndarray) -> np.ndarray:
+    """Causal FIR filtering truncated to the input length.
+
+    The 1-D path keeps the historical ``np.convolve`` implementation so
+    existing results stay bitwise identical; stacked trials (last axis =
+    time) go through ``lfilter``, which computes the same causal
+    convolution per row.
+    """
+    if x.ndim == 1:
+        return np.convolve(x, taps)[:len(x)]
+    from scipy.signal import lfilter
+    return lfilter(taps, [1.0], x, axis=-1)
+
+
 class FirFilter:
     """Finite-impulse-response filter.
 
@@ -98,9 +112,13 @@ class FirFilter:
     # Execution
     # ------------------------------------------------------------------
     def process(self, x: np.ndarray) -> np.ndarray:
-        """Double-precision filtering (same length as the input)."""
+        """Double-precision filtering (same length as the input).
+
+        A 2-D input of shape ``(trials, samples)`` filters every trial
+        along the last axis in one vectorized pass.
+        """
         x = np.asarray(x, dtype=float)
-        return np.convolve(x, self.taps)[:len(x)]
+        return _causal_fir(x, self.taps)
 
     def process_fixed_point(self, x: np.ndarray,
                             config: FixedPointFilterConfig) -> np.ndarray:
@@ -116,7 +134,7 @@ class FirFilter:
         if config.quantize_input:
             x = config.data_quantizer().quantize(x)
         quantized_taps = config.coefficient_quantizer().quantize(self.taps)
-        exact = np.convolve(x, quantized_taps)[:len(x)]
+        exact = _causal_fir(x, quantized_taps)
         return config.data_quantizer().quantize(exact)
 
 
@@ -187,12 +205,30 @@ class IirFilter:
         # it can be accumulated exactly outside the recursion; only the
         # recursive part needs the sample-by-sample loop because each output
         # is quantized before being fed back.
-        feed_forward = np.convolve(x, b)[:len(x)]
-        y = np.zeros(len(x))
+        feed_forward = _causal_fir(x, b)
         feedback_taps = a[1:]
         na = len(feedback_taps)
         rounding = config.rounding
         floor = np.floor
+        if x.ndim > 1:
+            # Batched trials: the recursion runs once over the sample axis
+            # with every per-sample operation vectorized across trials.
+            y = np.zeros_like(x)
+            num_samples = x.shape[-1]
+            for n in range(num_samples):
+                acc = feed_forward[..., n].copy()
+                history_start = max(0, n - na)
+                history = y[..., history_start:n][..., ::-1]
+                if history.shape[-1]:
+                    acc -= history @ feedback_taps[:history.shape[-1]]
+                if rounding is RoundingMode.TRUNCATE:
+                    y[..., n] = floor(acc / step) * step
+                elif rounding is RoundingMode.ROUND:
+                    y[..., n] = floor(acc / step + 0.5) * step
+                else:
+                    y[..., n] = np.rint(acc / step) * step
+            return y
+        y = np.zeros(len(x))
         for n in range(len(x)):
             acc = feed_forward[n]
             history_start = max(0, n - na)

@@ -24,7 +24,8 @@ def downsample(x: np.ndarray, factor: int = 2, phase: int = 0) -> np.ndarray:
     Parameters
     ----------
     x:
-        Input signal (1-D).
+        Input signal; the last axis is time (leading axes are independent
+        trials).
     factor:
         Down-sampling factor ``M >= 1``.
     phase:
@@ -34,15 +35,18 @@ def downsample(x: np.ndarray, factor: int = 2, phase: int = 0) -> np.ndarray:
     _check_factor(factor)
     if not 0 <= phase < factor:
         raise ValueError(f"phase must be in [0, {factor}), got {phase}")
-    return x[phase::factor]
+    return x[..., phase::factor]
 
 
 def upsample(x: np.ndarray, factor: int = 2) -> np.ndarray:
-    """Insert ``factor - 1`` zeros between consecutive samples."""
+    """Insert ``factor - 1`` zeros between consecutive samples.
+
+    The last axis is time; leading axes are independent trials.
+    """
     x = np.asarray(x)
     _check_factor(factor)
-    y = np.zeros(len(x) * factor, dtype=x.dtype)
-    y[::factor] = x
+    y = np.zeros(x.shape[:-1] + (x.shape[-1] * factor,), dtype=x.dtype)
+    y[..., ::factor] = x
     return y
 
 

@@ -183,13 +183,17 @@ class TransferFunction:
         return self.filter(impulse)
 
     def filter(self, x: np.ndarray) -> np.ndarray:
-        """Filter the signal ``x`` in double precision (direct form II)."""
+        """Filter the signal ``x`` in double precision (direct form II).
+
+        The last axis is time; leading axes (batched trials) are filtered
+        independently.
+        """
         x = np.asarray(x, dtype=float)
-        if self.is_fir:
+        if self.is_fir and x.ndim == 1:
             full = np.convolve(x, self.b)
             return full[:len(x)]
         from scipy.signal import lfilter
-        return lfilter(self.b, self.a, x)
+        return lfilter(self.b, self.a, x, axis=-1)
 
     # ------------------------------------------------------------------
     # Derived scalar quantities used by the analytical methods

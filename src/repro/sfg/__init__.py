@@ -13,8 +13,14 @@ subpackage provides:
   validation, topological ordering and reachability queries.
 * :mod:`~repro.sfg.cycles` — cycle detection and feedback-loop collapsing,
   the first step of the proposed method.
+* :mod:`~repro.sfg.plan` — graph compilation: a :class:`CompiledPlan`
+  freezes the validated topological schedule (index-based wiring,
+  pre-constructed quantizers, precomputed noise sources, memoized
+  frequency responses) so every evaluation engine runs it many times
+  without re-deriving structure.
 * :mod:`~repro.sfg.executor` — dual-mode execution (double-precision
-  reference and bit-true fixed point) of an acyclic SFG.
+  reference and bit-true fixed point) of a compiled plan, including
+  batched (trials × samples) Monte-Carlo runs.
 * :mod:`~repro.sfg.builder` — a small fluent API for assembling graphs in
   examples and tests.
 """
@@ -35,6 +41,7 @@ from repro.sfg.nodes import (
 )
 from repro.sfg.graph import Edge, SignalFlowGraph
 from repro.sfg.cycles import break_feedback_loops, find_cycles
+from repro.sfg.plan import CompiledPlan, PlanStep, compile_plan
 from repro.sfg.executor import ExecutionResult, SfgExecutor
 from repro.sfg.builder import SfgBuilder
 from repro.sfg.serialization import (
@@ -65,6 +72,9 @@ __all__ = [
     "SignalFlowGraph",
     "find_cycles",
     "break_feedback_loops",
+    "CompiledPlan",
+    "PlanStep",
+    "compile_plan",
     "SfgExecutor",
     "ExecutionResult",
     "SfgBuilder",

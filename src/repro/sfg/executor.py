@@ -7,9 +7,14 @@ vector per node output.  Two modes are supported:
 * ``fixed`` — bit-true fixed-point execution in which every node applies
   its :class:`~repro.sfg.nodes.QuantizationSpec`.
 
-The simulation-based accuracy evaluation runs the same graph in both modes
-on the same stimulus and measures the output difference; see
-:class:`repro.analysis.simulation_method.SimulationEvaluator`.
+Execution runs from a :class:`~repro.sfg.plan.CompiledPlan` — the graph is
+validated, ordered and index-resolved once at compile time; the plan is
+then run any number of times.  :meth:`SfgExecutor.run_pair` evaluates both
+precision modes in one traversal, which is what the simulation-based
+accuracy evaluation needs (see
+:class:`repro.analysis.simulation_method.SimulationEvaluator`), and a 2-D
+``(trials, samples)`` stimulus runs a whole Monte-Carlo batch in one
+vectorized pass.
 """
 
 from __future__ import annotations
@@ -19,7 +24,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.sfg.graph import SignalFlowGraph
-from repro.sfg.nodes import InputNode
+from repro.sfg.plan import CompiledPlan, compile_plan
 
 
 @dataclass
@@ -57,12 +62,16 @@ class ExecutionResult:
 
 
 class SfgExecutor:
-    """Executes a validated, acyclic :class:`SignalFlowGraph`."""
+    """Executes a validated, acyclic :class:`SignalFlowGraph`.
 
-    def __init__(self, graph: SignalFlowGraph):
-        graph.validate()
-        self.graph = graph
-        self._order = graph.topological_order()
+    Accepts either a graph (compiled on construction, with the compiled
+    plan cached per graph object) or an already-compiled
+    :class:`CompiledPlan`.
+    """
+
+    def __init__(self, system: SignalFlowGraph | CompiledPlan):
+        self.plan = compile_plan(system)
+        self.graph = self.plan.graph
 
     def run(self, inputs: dict[str, np.ndarray], mode: str = "double",
             keep_signals: bool = False) -> ExecutionResult:
@@ -71,7 +80,9 @@ class SfgExecutor:
         Parameters
         ----------
         inputs:
-            Mapping from input-node name to its sample vector.
+            Mapping from input-node name to its sample vector; a 2-D array
+            of shape ``(trials, samples)`` runs every trial in one
+            vectorized batch.
         mode:
             ``double`` for the infinite-precision reference or ``fixed``
             for bit-true fixed-point execution.
@@ -80,38 +91,28 @@ class SfgExecutor:
             result (useful for debugging and for block-level validation
             tests).
         """
-        if mode not in ("double", "fixed"):
-            raise ValueError(f"unknown execution mode {mode!r}")
-        missing = set(self.graph.input_names()) - set(inputs)
-        if missing:
-            raise ValueError(f"missing stimulus for input node(s) {sorted(missing)}")
+        return self.plan.run(inputs, mode=mode, keep_signals=keep_signals)
 
-        signals: dict[str, np.ndarray] = {}
-        for name in self._order:
-            node = self.graph.node(name)
-            if isinstance(node, InputNode):
-                stimulus = np.asarray(inputs[name], dtype=float)
-                if mode == "fixed" and node.quantization.enabled:
-                    stimulus = node.quantization.quantizer().quantize(stimulus)
-                signals[name] = stimulus
-                continue
-            incoming = self.graph.predecessors(name)
-            node_inputs = [signals[edge.source] for edge in incoming]
-            if mode == "double":
-                signals[name] = node.simulate(node_inputs)
-            else:
-                signals[name] = node.simulate_fixed(node_inputs)
+    def run_pair(self, inputs: dict[str, np.ndarray],
+                 keep_signals: bool = False
+                 ) -> tuple[ExecutionResult, ExecutionResult]:
+        """Execute both precision modes in one traversal.
 
-        outputs = {name: signals[name] for name in self.graph.output_names()}
-        return ExecutionResult(
-            outputs=outputs,
-            signals=signals if keep_signals else {},
-        )
+        Returns ``(reference, fixed)`` results computed side by side over
+        a single walk of the schedule.
+        """
+        return self.plan.run_pair(inputs, keep_signals=keep_signals)
 
     def run_error(self, inputs: dict[str, np.ndarray],
                   output: str | None = None) -> np.ndarray:
         """Error signal (fixed-point minus double) at one output."""
-        reference = self.run(inputs, mode="double").output(output)
-        fixed = self.run(inputs, mode="fixed").output(output)
-        length = min(len(reference), len(fixed))
-        return fixed[:length] - reference[:length]
+        reference, fixed = self.run_pair(inputs)
+        reference = reference.output(output)
+        fixed = fixed.output(output)
+        if reference.shape != fixed.shape:
+            # Both modes run the same schedule on the same stimulus, so a
+            # length mismatch can only be a node implementation bug.
+            raise ValueError(
+                "reference and fixed-point outputs have different shapes: "
+                f"{reference.shape} vs {fixed.shape}")
+        return fixed - reference

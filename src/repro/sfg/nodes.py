@@ -21,6 +21,7 @@ corresponding additive noise source is returned by
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -72,11 +73,16 @@ class QuantizationSpec:
         return self.coefficient_fractional_bits
 
     def quantizer(self, integer_bits: int = 15) -> Quantizer:
-        """Data-path quantizer described by this spec."""
+        """Data-path quantizer described by this spec.
+
+        Specs are frozen value objects, so the quantizer is memoized: the
+        execution hot paths get one pre-constructed quantizer per distinct
+        specification instead of building a fresh object per call.
+        """
         if not self.enabled:
             raise ValueError("cannot build a quantizer from a disabled spec")
-        return Quantizer(QFormat(integer_bits, self.fractional_bits),
-                         rounding=self.rounding)
+        return _build_quantizer(self.fractional_bits, self.rounding,
+                                integer_bits)
 
     def noise_stats(self) -> NoiseStats:
         """PQN-model moments of the noise injected by this quantizer."""
@@ -101,8 +107,24 @@ class QuantizationSpec:
 _NO_QUANTIZATION = QuantizationSpec(fractional_bits=None)
 
 
+@lru_cache(maxsize=None)
+def _build_quantizer(fractional_bits: int, rounding: RoundingMode,
+                     integer_bits: int) -> Quantizer:
+    return Quantizer(QFormat(integer_bits, fractional_bits),
+                     rounding=rounding)
+
+
 class Node:
-    """Base class of every SFG node."""
+    """Base class of every SFG node.
+
+    ``supports_batch`` declares whether :meth:`simulate` /
+    :meth:`simulate_fixed` accept stacked stimuli — arrays whose *last*
+    axis is time and whose leading axes are independent trials.  Nodes
+    that only implement the 1-D contract leave it ``False`` and the
+    executor falls back to a per-trial loop.
+    """
+
+    supports_batch = False
 
     def __init__(self, name: str, num_inputs: int,
                  quantization: QuantizationSpec | None = None):
@@ -203,6 +225,8 @@ class InputNode(Node):
     experiments enters the system.
     """
 
+    supports_batch = True
+
     def __init__(self, name: str, quantization: QuantizationSpec | None = None):
         super().__init__(name, num_inputs=0, quantization=quantization)
 
@@ -222,6 +246,8 @@ class InputNode(Node):
 
 class OutputNode(Node):
     """External output of the system (identity pass-through)."""
+
+    supports_batch = True
 
     def __init__(self, name: str):
         super().__init__(name, num_inputs=1)
@@ -247,6 +273,8 @@ class OutputNode(Node):
 class AddNode(Node):
     """N-ary adder / subtractor with unit (or signed-unit) input gains."""
 
+    supports_batch = True
+
     def __init__(self, name: str, num_inputs: int = 2,
                  signs: list[float] | None = None,
                  quantization: QuantizationSpec | None = None):
@@ -259,11 +287,12 @@ class AddNode(Node):
         self.signs = [float(s) for s in signs]
 
     def simulate(self, inputs: list[np.ndarray]) -> np.ndarray:
-        length = max(len(np.asarray(x)) for x in inputs)
-        output = np.zeros(length)
-        for sign, x in zip(self.signs, inputs):
-            x = np.asarray(x, dtype=float)
-            output[:len(x)] += sign * x
+        arrays = [np.asarray(x, dtype=float) for x in inputs]
+        length = max(x.shape[-1] for x in arrays)
+        leading = np.broadcast_shapes(*[x.shape[:-1] for x in arrays])
+        output = np.zeros(leading + (length,))
+        for sign, x in zip(self.signs, arrays):
+            output[..., :x.shape[-1]] += sign * x
         return output
 
     def propagate_stats(self, inputs: list[NoiseStats]) -> NoiseStats:
@@ -288,6 +317,8 @@ class AddNode(Node):
 
 class GainNode(_LtiMixin, Node):
     """Multiplication by a constant coefficient."""
+
+    supports_batch = True
 
     def __init__(self, name: str, gain: float,
                  quantization: QuantizationSpec | None = None):
@@ -326,6 +357,8 @@ class GainNode(_LtiMixin, Node):
 class DelayNode(_LtiMixin, Node):
     """Pure delay of an integer number of samples."""
 
+    supports_batch = True
+
     def __init__(self, name: str, delay: int = 1):
         super().__init__(name, num_inputs=1)
         if delay < 0:
@@ -340,12 +373,16 @@ class DelayNode(_LtiMixin, Node):
         x = np.asarray(x, dtype=float)
         if self.delay == 0:
             return x.copy()
-        return np.concatenate([np.zeros(self.delay), x[:-self.delay]]) \
-            if self.delay < len(x) else np.zeros(len(x))
+        if self.delay >= x.shape[-1]:
+            return np.zeros_like(x)
+        pad = np.zeros(x.shape[:-1] + (self.delay,))
+        return np.concatenate([pad, x[..., :-self.delay]], axis=-1)
 
 
 class FirNode(_LtiMixin, Node):
     """FIR filter block."""
+
+    supports_batch = True
 
     def __init__(self, name: str, taps,
                  quantization: QuantizationSpec | None = None):
@@ -370,9 +407,10 @@ class FirNode(_LtiMixin, Node):
     def simulate(self, inputs: list[np.ndarray]) -> np.ndarray:
         # Reference and fixed-point implementations share the quantized
         # coefficients; only the data-path precision differs.
+        from repro.lti.filters import _causal_fir
         (x,) = inputs
         taps = self._effective_transfer_function().b
-        return np.convolve(np.asarray(x, dtype=float), taps)[:len(x)]
+        return _causal_fir(np.asarray(x, dtype=float), taps)
 
     def simulate_fixed(self, inputs: list[np.ndarray]) -> np.ndarray:
         (x,) = inputs
@@ -394,6 +432,8 @@ class IirNode(_LtiMixin, Node):
     propagation engines query :meth:`noise_shaping_function` to apply that
     shaping to the node's own noise source.
     """
+
+    supports_batch = True
 
     def __init__(self, name: str, b, a,
                  quantization: QuantizationSpec | None = None):
@@ -441,6 +481,8 @@ class IirNode(_LtiMixin, Node):
 class LtiNode(_LtiMixin, Node):
     """Generic LTI block defined by an arbitrary transfer function."""
 
+    supports_batch = True
+
     def __init__(self, name: str, transfer_function: TransferFunction,
                  quantization: QuantizationSpec | None = None):
         super().__init__(name, num_inputs=1, quantization=quantization)
@@ -456,6 +498,8 @@ class LtiNode(_LtiMixin, Node):
 
 class DownsampleNode(Node):
     """Decimator (keep one sample out of ``factor``)."""
+
+    supports_batch = True
 
     def __init__(self, name: str, factor: int = 2, phase: int = 0):
         super().__init__(name, num_inputs=1)
@@ -487,6 +531,8 @@ class DownsampleNode(Node):
 
 class UpsampleNode(Node):
     """Expander (insert ``factor - 1`` zeros between samples)."""
+
+    supports_batch = True
 
     def __init__(self, name: str, factor: int = 2):
         super().__init__(name, num_inputs=1)

@@ -17,6 +17,12 @@ top of any analytical evaluator of this library:
 
 The cost model is the total number of fractional bits across all
 quantized nodes, a standard proxy for datapath area / energy.
+
+The optimizer compiles the graph into a
+:class:`~repro.sfg.plan.CompiledPlan` once and re-quantizes it in place
+across search iterations, so the topological schedule and the memoized
+per-node frequency responses are shared by the (typically hundreds of)
+candidate evaluations.
 """
 
 from __future__ import annotations
@@ -27,6 +33,7 @@ from repro.analysis.agnostic_method import evaluate_agnostic
 from repro.analysis.flat_method import evaluate_flat
 from repro.analysis.psd_method import evaluate_psd
 from repro.sfg.graph import SignalFlowGraph
+from repro.sfg.plan import compile_plan
 
 
 @dataclass
@@ -88,6 +95,10 @@ class WordLengthOptimizer:
         self.min_bits = min_bits
         self.max_bits = max_bits
         self._evaluations = 0
+        # The graph is compiled once; the search re-quantizes the plan in
+        # place, so the schedule and the memoized per-node frequency
+        # responses are shared by every candidate evaluation.
+        self._plan = compile_plan(graph)
         self._tunable = [name for name, node in graph.nodes.items()
                          if node.quantization.enabled]
         if not self._tunable:
@@ -97,19 +108,17 @@ class WordLengthOptimizer:
     # Evaluation plumbing
     # ------------------------------------------------------------------
     def _apply(self, assignment: dict[str, int]) -> None:
-        for name, bits in assignment.items():
-            node = self.graph.node(name)
-            node.quantization = node.quantization.with_fractional_bits(bits)
+        self._plan.requantize(assignment)
 
     def _noise_power(self, assignment: dict[str, int]) -> float:
         self._apply(assignment)
         self._evaluations += 1
         if self.method == "psd":
-            return evaluate_psd(self.graph, self.n_psd).total_power
+            return evaluate_psd(self._plan, self.n_psd).total_power
         if self.method == "flat":
-            return evaluate_flat(self.graph).power
+            return evaluate_flat(self._plan).power
         if self.method == "agnostic":
-            return evaluate_agnostic(self.graph).power
+            return evaluate_agnostic(self._plan).power
         raise ValueError(f"unknown method {self.method!r}")
 
     # ------------------------------------------------------------------

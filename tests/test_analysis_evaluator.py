@@ -90,3 +90,34 @@ class TestReportObjects:
         report = AccuracyReport(system="s", simulated_power=1.0,
                                 estimate=estimate)
         assert "OVER one bit" in report.describe()
+
+
+class TestPlanTracking:
+    """The evaluator must follow graph rewires with both engines in sync."""
+
+    def test_structural_rewire_rebuilds_simulator(self, rng):
+        from repro.analysis.evaluator import AccuracyEvaluator
+        from repro.sfg.builder import SfgBuilder
+        from repro.sfg.nodes import GainNode, OutputNode
+
+        builder = SfgBuilder("rewire")
+        x = builder.input("x", fractional_bits=8)
+        h = builder.fir("h", [1.0, 0.25], x, fractional_bits=8)
+        builder.output("y", h)
+        graph = builder.build()
+        evaluator = AccuracyEvaluator(graph, n_psd=64)
+        stimulus = rng.uniform(-0.9, 0.9, 20_000)
+        evaluator.compare(stimulus, methods=("psd",))
+
+        graph.remove_node("y")
+        graph.add_node(GainNode("g", 2.0,
+                                quantization=graph.node("h").quantization))
+        graph.connect("h", "g")
+        graph.add_node(OutputNode("y"))
+        graph.connect("g", "y")
+
+        comparison = evaluator.compare(stimulus, methods=("psd",))
+        # Simulation and estimate must both describe the rewired system:
+        # the x2 gain quadruples the noise power, and the deviation between
+        # the two engines stays small.
+        assert abs(comparison.reports["psd"].ed_percent) < 15.0

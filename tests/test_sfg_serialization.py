@@ -84,6 +84,136 @@ class TestRoundTrip:
         assert any(node["type"] == "iir" for node in data["nodes"])
 
 
+def _single_node_graph(node_type: str):
+    """Wrap one instance of ``node_type`` into a minimal valid graph."""
+    from repro.fixedpoint.quantizer import RoundingMode
+    from repro.sfg.graph import SignalFlowGraph
+    from repro.sfg.nodes import (
+        AddNode,
+        DelayNode,
+        DownsampleNode,
+        FirNode,
+        GainNode,
+        IirNode,
+        InputNode,
+        LtiNode,
+        OutputNode,
+        QuantizationSpec,
+        UpsampleNode,
+    )
+
+    spec = QuantizationSpec(fractional_bits=9,
+                            rounding=RoundingMode.TRUNCATE,
+                            coefficient_fractional_bits=11,
+                            input_fractional_bits=14)
+    b, a = design_iir_filter(2, 0.4, "lowpass", "butterworth")
+    nodes = {
+        "input": InputNode("n", spec),
+        "output": OutputNode("n"),
+        "add": AddNode("n", num_inputs=2, signs=[1.0, -1.0],
+                       quantization=spec),
+        "gain": GainNode("n", 0.625, quantization=spec),
+        "delay": DelayNode("n", delay=3),
+        "fir": FirNode("n", design_fir_lowpass(7, 0.3), quantization=spec),
+        "iir": IirNode("n", b, a, quantization=spec),
+        "lti": LtiNode("n", TransferFunction([0.5, 0.25], [1.0, -0.5]),
+                       quantization=spec),
+        "downsample": DownsampleNode("n", factor=2, phase=1),
+        "upsample": UpsampleNode("n", factor=3),
+    }
+    node = nodes[node_type]
+
+    graph = SignalFlowGraph(f"single-{node_type}")
+    if node_type == "input":
+        graph.add_node(node)
+        graph.add_node(FirNode("h", [1.0, 0.5], quantization=spec))
+        graph.add_node(OutputNode("y"))
+        graph.connect("n", "h")
+        graph.connect("h", "y")
+        return graph
+    graph.add_node(InputNode("x", spec))
+    if node_type == "output":
+        graph.add_node(node)
+        graph.connect("x", "n")
+        return graph
+    graph.add_node(node)
+    graph.add_node(OutputNode("y"))
+    graph.connect("x", "n", 0)
+    if node_type == "add":
+        graph.add_node(GainNode("g2", 0.5, quantization=spec))
+        graph.connect("x", "g2")
+        graph.connect("g2", "n", 1)
+    graph.connect("n", "y")
+    return graph
+
+
+_ALL_NODE_TYPES = ("input", "output", "add", "gain", "delay", "fir", "iir",
+                   "lti", "downsample", "upsample")
+
+
+class TestEveryNodeTypeRoundTrip:
+    """Satellite coverage: every node type survives save -> load intact."""
+
+    @pytest.mark.parametrize("node_type", _ALL_NODE_TYPES)
+    def test_file_round_trip_preserves_node(self, node_type, tmp_path):
+        graph = _single_node_graph(node_type)
+        path = tmp_path / "system.json"
+        save_graph(graph, path)
+        rebuilt = load_graph(path)
+        assert set(rebuilt.nodes) == set(graph.nodes)
+        original = graph.node("n")
+        restored = rebuilt.node("n")
+        assert type(restored) is type(original)
+
+    @pytest.mark.parametrize("node_type", _ALL_NODE_TYPES)
+    def test_quantization_spec_round_trips_exactly(self, node_type, tmp_path):
+        graph = _single_node_graph(node_type)
+        path = tmp_path / "system.json"
+        save_graph(graph, path)
+        rebuilt = load_graph(path)
+        for name, node in graph.nodes.items():
+            spec = node.quantization
+            restored = rebuilt.node(name).quantization
+            assert restored.fractional_bits == spec.fractional_bits
+            if spec.enabled:
+                assert restored.rounding == spec.rounding
+                assert restored.coefficient_fractional_bits == \
+                    spec.coefficient_fractional_bits
+                assert restored.input_fractional_bits == \
+                    spec.input_fractional_bits
+
+    @pytest.mark.parametrize("node_type", _ALL_NODE_TYPES)
+    def test_reloaded_plan_produces_identical_estimates(self, node_type,
+                                                        tmp_path):
+        from repro.analysis.agnostic_method import evaluate_agnostic
+        from repro.sfg.plan import compile_plan
+
+        graph = _single_node_graph(node_type)
+        path = tmp_path / "system.json"
+        save_graph(graph, path)
+        plan = compile_plan(load_graph(path))
+        original_psd = evaluate_psd(graph, 128)
+        reloaded_psd = evaluate_psd(plan, 128)
+        np.testing.assert_array_equal(reloaded_psd.ac, original_psd.ac)
+        assert reloaded_psd.mean == original_psd.mean
+        original_stats = evaluate_agnostic(graph)
+        reloaded_stats = evaluate_agnostic(plan)
+        assert reloaded_stats.mean == original_stats.mean
+        assert reloaded_stats.variance == original_stats.variance
+
+    def test_rich_graph_reloaded_plan_matches_executor(self, tmp_path, rng):
+        from repro.sfg.plan import compile_plan
+
+        graph = _rich_graph()
+        path = tmp_path / "system.json"
+        save_graph(graph, path)
+        plan = compile_plan(load_graph(path))
+        x = rng.uniform(-0.9, 0.9, 256)
+        np.testing.assert_array_equal(
+            SfgExecutor(plan).run({"x": x}, mode="fixed").output("y"),
+            SfgExecutor(graph).run({"x": x}, mode="fixed").output("y"))
+
+
 class TestValidation:
     def test_unknown_node_type_rejected(self):
         with pytest.raises(ValueError):
