@@ -8,7 +8,8 @@ This harness regenerates the two series (frequency-domain filter and DWT
 codec).  With the reduced workload the Monte-Carlo reference itself
 carries a few percent of statistical uncertainty, so the assertion is the
 paper's qualitative claim: the deviation stays well inside the
-sub-one-bit band (|Ed| < 75 %) at every word length, and within ~25 % for
+sub-one-bit band (Ed in (-300 %, +75 %); the check below uses the tighter
+symmetric |Ed| < 75 %) at every word length, and within ~25 % for
 the PSD method.
 
 Note: beyond ~24 fractional bits the error of the double-precision

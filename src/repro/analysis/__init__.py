@@ -30,9 +30,16 @@ from repro.analysis.metrics import (
     sqnr_db,
 )
 from repro.analysis.simulation_method import SimulationEvaluator, SimulationResult
-from repro.analysis.flat_method import evaluate_flat
-from repro.analysis.agnostic_method import evaluate_agnostic
-from repro.analysis.psd_method import evaluate_psd, evaluate_psd_tracked
+from repro.analysis.flat_method import evaluate_flat, evaluate_flat_batch
+from repro.analysis.agnostic_method import (
+    evaluate_agnostic,
+    evaluate_agnostic_batch,
+)
+from repro.analysis.psd_method import (
+    evaluate_psd,
+    evaluate_psd_batch,
+    evaluate_psd_tracked,
+)
 from repro.analysis.evaluator import AccuracyEvaluator, MethodComparison
 from repro.analysis.report import AccuracyReport, EstimateResult
 
@@ -46,8 +53,11 @@ __all__ = [
     "SimulationEvaluator",
     "SimulationResult",
     "evaluate_flat",
+    "evaluate_flat_batch",
     "evaluate_agnostic",
+    "evaluate_agnostic_batch",
     "evaluate_psd",
+    "evaluate_psd_batch",
     "evaluate_psd_tracked",
     "AccuracyEvaluator",
     "MethodComparison",

@@ -20,7 +20,7 @@ of the paper whenever an upstream block has colored the noise.
 
 from __future__ import annotations
 
-from repro.analysis._engine import walk_stats
+from repro.analysis._engine import walk_stats, walk_stats_batch
 from repro.fixedpoint.noise_model import NoiseStats
 from repro.sfg.graph import SignalFlowGraph
 from repro.sfg.plan import CompiledPlan, compile_plan
@@ -55,3 +55,20 @@ def evaluate_agnostic_all(system: SignalFlowGraph | CompiledPlan
                           ) -> dict[str, NoiseStats]:
     """Per-node noise moments (useful for word-length refinement loops)."""
     return walk_stats(compile_plan(system))
+
+
+def evaluate_agnostic_batch(system: SignalFlowGraph | CompiledPlan,
+                            assignments,
+                            output: str | None = None) -> NoiseStats:
+    """Estimate the output moments of a stack of word-length assignments.
+
+    One graph walk evaluates every configuration.  The returned
+    :class:`NoiseStats` carries ``(K,)`` arrays in its ``mean`` /
+    ``variance`` fields (``result.power`` is the per-config power array);
+    entry ``k`` is bit-identical to ``evaluate_agnostic(plan)`` after
+    ``plan.requantize(assignments[k])``.
+    """
+    plan = compile_plan(system)
+    stack = plan.config_stack(assignments)
+    results = walk_stats_batch(plan, stack)
+    return results[plan.resolve_output(output)]

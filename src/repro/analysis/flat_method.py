@@ -37,17 +37,29 @@ from repro.sfg.plan import CompiledPlan, compile_plan
 
 
 def source_path_functions(system: SignalFlowGraph | CompiledPlan,
-                          output: str | None = None
-                          ) -> dict[str, TransferFunction]:
+                          output: str | None = None,
+                          sources=None) -> dict[str, TransferFunction]:
     """Path transfer function from every noise source to the output.
 
     Returns a mapping ``{source node name: h_i}``.  A node generates a
     source when its quantization spec is enabled; for IIR nodes the source
     is pre-shaped by ``1 / A(z)`` (the quantizer lives inside the
     recursion).
+
+    Parameters
+    ----------
+    system, output:
+        Graph (or plan) and the output node to reach.
+    sources:
+        Optional explicit set of node names to treat as sources.  The
+        default — the plan's current noise-generating steps — is what
+        :func:`evaluate_flat` needs; the batched evaluation passes the
+        union of the stack's noisy steps instead.
     """
     plan = compile_plan(system)
     output_name = plan.resolve_output(output)
+    if sources is None:
+        sources = {step.name for step in plan.noise_steps}
 
     # paths[index] maps source name -> transfer function from the source to
     # this node's output.
@@ -60,7 +72,7 @@ def source_path_functions(system: SignalFlowGraph | CompiledPlan,
         else:
             input_maps = [paths[i] for i in step.predecessors]
             accumulated = _propagate_paths(node, input_maps, plan, step)
-        if step.noise is not None:
+        if step.name in sources:
             shaping = (plan.shaping_tf(step)
                        if isinstance(node, IirNode)
                        else TransferFunction.identity())
@@ -90,6 +102,72 @@ def evaluate_flat(system: SignalFlowGraph | CompiledPlan,
     # of the propagated means (Eq. 6 with time-invariant paths).
     total_mean = float(np.sum(mean_contributions))
     return NoiseStats(mean=total_mean, variance=total_variance)
+
+
+def evaluate_flat_batch(system: SignalFlowGraph | CompiledPlan,
+                        assignments,
+                        output: str | None = None) -> NoiseStats:
+    """Estimate the output moments of a stack of word-length assignments.
+
+    The path transfer functions only depend on the effective coefficient
+    precisions, so the stack is grouped by coefficient signature: within a
+    group the (expensive) symbolic path composition runs once and only the
+    cheap per-source moment sums are repeated per config.  When the graph
+    pins ``coefficient_fractional_bits`` the whole stack forms one group.
+
+    Returns a :class:`NoiseStats` whose ``mean`` / ``variance`` fields are
+    ``(K,)`` arrays; entry ``k`` is bit-identical to
+    ``evaluate_flat(plan)`` after ``plan.requantize(assignments[k])``.
+    """
+    plan = compile_plan(system)
+    stack = plan.config_stack(assignments)
+    means = np.zeros(stack.size)
+    variances = np.zeros(stack.size)
+    noise_by_name = {step.name: stack.noise(step)
+                     for step in plan.steps
+                     if stack.noise(step) is not None}
+
+    with plan.preserve_quantization():
+        for members in stack.coefficient_groups():
+            # The representative config fixes every coefficient precision
+            # of the group; path functions are computed once under it.
+            plan.requantize(stack.resolved(members[0]))
+            noisy_names = _group_noisy_names(plan, stack, members)
+            path_functions = source_path_functions(plan, output,
+                                                   sources=noisy_names)
+            energies = {name: tf.energy()
+                        for name, tf in path_functions.items()}
+            dc_sums = {name: tf.coefficient_sum()
+                       for name, tf in path_functions.items()}
+            for k in members:
+                # Same accumulation order (schedule order over this
+                # config's own noisy sources) as the scalar evaluation.
+                total_variance = 0.0
+                mean_contributions = []
+                for name in path_functions:
+                    source_means, source_variances = noise_by_name[name]
+                    if (source_variances[k] == 0.0
+                            and source_means[k] == 0.0):
+                        continue
+                    total_variance += source_variances[k] * energies[name]
+                    mean_contributions.append(source_means[k] * dc_sums[name])
+                means[k] = float(np.sum(mean_contributions))
+                variances[k] = total_variance
+    return NoiseStats(mean=means, variance=variances)
+
+
+def _group_noisy_names(plan: CompiledPlan, stack, members) -> set[str]:
+    """Names of steps generating noise for at least one group member."""
+    names = set()
+    for step in plan.steps:
+        noise = stack.noise(step)
+        if noise is None:
+            continue
+        source_means, source_variances = noise
+        if any(source_variances[k] != 0.0 or source_means[k] != 0.0
+               for k in members):
+            names.add(step.name)
+    return names
 
 
 def _propagate_paths(node: Node,

@@ -5,8 +5,11 @@ The paper compares estimators with the *MSE deviation* ``Ed`` (Eq. 15)::
     Ed = (E[err_sim^2] - E[err_est^2]) / E[err_sim^2]
 
 and states that an estimate within one bit of the simulated value
-corresponds to ``Ed`` in the open interval ``(-75 %, +300 %)`` (one bit of
-word length is a factor of 4 in noise power).  The helpers below implement
+corresponds to ``Ed`` in an open interval (one bit of word length is a
+factor of 4 in noise power).  With this sign convention the band is
+``(-300 %, +75 %)``: an estimate one bit *above* the simulation
+(``est = 4 * sim``) gives ``Ed = -300 %`` and one bit *below*
+(``est = sim / 4``) gives ``Ed = +75 %``.  The helpers below implement
 that metric, the usual quality metrics (noise power, MSE, SQNR) and the
 one-bit-equivalence check.
 """
@@ -69,10 +72,12 @@ def equivalent_bit_error(simulated_power: float, estimated_power: float) -> floa
 def is_sub_one_bit(ed: float) -> bool:
     """Whether an ``Ed`` value corresponds to a sub-one-bit estimate.
 
-    The paper derives the band ``Ed in (-75 %, +300 %)`` from the power
-    ratio between two successive word lengths: an estimate within that
-    band is closer to the simulated power than the powers of the
-    neighbouring word lengths are.
+    The band follows from the factor-of-4 power ratio between two
+    successive word lengths and from ``Ed = (sim - est) / sim``: the
+    estimate is within one bit of the simulation iff
+    ``sim / 4 < est < 4 * sim``, i.e. ``Ed`` in the open interval
+    ``(-300 %, +75 %)`` — ``est = 4 * sim`` maps to ``Ed = -3.0`` and
+    ``est = sim / 4`` to ``Ed = +0.75``, both excluded.
     """
     return -3.0 < ed < 0.75
 

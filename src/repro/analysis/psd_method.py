@@ -26,7 +26,8 @@ is used in the correlation ablation.
 
 from __future__ import annotations
 
-from repro.analysis._engine import walk_psd, walk_tracked
+from repro.analysis._engine import walk_psd, walk_psd_batch, walk_tracked
+from repro.psd.batch import PsdStack
 from repro.psd.spectrum import DiscretePsd
 from repro.sfg.graph import SignalFlowGraph
 from repro.sfg.nodes import DownsampleNode, UpsampleNode
@@ -66,6 +67,42 @@ def evaluate_psd_all(system: SignalFlowGraph | CompiledPlan,
     """Per-node noise PSDs (useful for refinement and for Fig. 7-style maps)."""
     _check_bins(n_psd)
     return walk_psd(compile_plan(system), n_psd)
+
+
+def evaluate_psd_batch(system: SignalFlowGraph | CompiledPlan, n_psd: int,
+                       assignments, output: str | None = None) -> PsdStack:
+    """Estimate the output PSDs of a stack of word-length assignments.
+
+    One graph walk evaluates every configuration: noise-source moments
+    carry a leading config axis and the per-block frequency responses are
+    shared across the stack (per effective coefficient precision).  Row
+    ``k`` of the result is bit-identical to
+    ``evaluate_psd(plan, n_psd)`` after ``plan.requantize(assignments[k])``.
+
+    Parameters
+    ----------
+    system:
+        Graph or compiled plan.
+    n_psd:
+        Number of PSD bins shared by the whole stack.
+    assignments:
+        Sequence of ``{node name: fractional bits}`` mappings (``None``
+        disables quantization; unnamed nodes keep their current word
+        length).
+    output:
+        Output node to evaluate; optional when the graph has exactly one.
+
+    Returns
+    -------
+    PsdStack
+        Per-config output-noise PSDs; the per-config powers are
+        ``result.total_power`` (a ``(K,)`` array).
+    """
+    _check_bins(n_psd)
+    plan = compile_plan(system)
+    stack = plan.config_stack(assignments)
+    results = walk_psd_batch(plan, n_psd, stack)
+    return results[plan.resolve_output(output)]
 
 
 def evaluate_psd_tracked(system: SignalFlowGraph | CompiledPlan, n_psd: int,

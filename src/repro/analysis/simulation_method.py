@@ -148,6 +148,63 @@ class SimulationEvaluator:
             not yet stationary); applied per trial for batched runs.
         """
         error = self.error_signal(stimulus, output=output)
+        return self._measure(error, n_psd, discard_transient)
+
+    def evaluate_batch(self, assignments, stimulus,
+                       output: str | None = None,
+                       n_psd: int | None = None,
+                       discard_transient: int = 0) -> list[SimulationResult]:
+        """Measure a stack of word-length assignments on one stimulus.
+
+        The configuration axis of the analytical engines, for the
+        Monte-Carlo reference: the stack is grouped by effective
+        coefficient precision and the double-precision reference is run
+        *once per group* (the reference only depends on the quantized
+        coefficients), so ``K`` configs sharing coefficients cost
+        ``1 + K`` traversals instead of ``2 K``.  The plan's quantization
+        state is restored afterwards.
+
+        Parameters
+        ----------
+        assignments:
+            Sequence of ``{node name: fractional bits}`` mappings, as for
+            the batched analytical evaluations.
+        stimulus, output, n_psd, discard_transient:
+            As for :meth:`evaluate`.
+
+        Returns
+        -------
+        list of SimulationResult
+            One measurement per assignment, in order.
+        """
+        if self._executor is None:
+            raise TypeError(
+                "evaluate_batch requires an SFG-backed evaluator; protocol "
+                "systems have no word-length assignment to re-quantize")
+        plan = self._executor.plan
+        stack = plan.config_stack(assignments)
+        stimulus = self._normalize_stimulus(stimulus)
+
+        results: list[SimulationResult | None] = [None] * stack.size
+        with plan.preserve_quantization():
+            for members in stack.coefficient_groups():
+                plan.requantize(stack.resolved(members[0]))
+                reference = plan.run(stimulus, mode="double").output(output)
+                for k in members:
+                    plan.requantize(stack.resolved(k))
+                    fixed = plan.run(stimulus, mode="fixed").output(output)
+                    if reference.shape != fixed.shape:
+                        raise ValueError(
+                            "reference and fixed-point outputs have "
+                            f"different shapes: {reference.shape} vs "
+                            f"{fixed.shape}")
+                    error = fixed - reference
+                    results[k] = self._measure(error, n_psd,
+                                               discard_transient)
+        return results
+
+    def _measure(self, error: np.ndarray, n_psd: int | None,
+                 discard_transient: int) -> SimulationResult:
         if discard_transient:
             if discard_transient >= error.shape[-1]:
                 raise ValueError(

@@ -6,6 +6,7 @@ Usage::
     python -m repro.cli simulate system.json --samples 100000 --seed 3
     python -m repro.cli compare  system.json --methods psd agnostic flat
     python -m repro.cli optimize system.json --budget 1e-7
+    python -m repro.cli sweep    system.json --budget-range 1e-5 1e-8 7
 
 The system description is the JSON schema of
 :mod:`repro.sfg.serialization`.  Stimuli for the simulation-based commands
@@ -29,6 +30,7 @@ import sys
 from repro.analysis.evaluator import AccuracyEvaluator
 from repro.data.signals import uniform_white_noise
 from repro.sfg.serialization import load_graph
+from repro.systems.pareto import budget_range, sweep_noise_budgets
 from repro.systems.wordlength import WordLengthOptimizer
 from repro.utils.tables import TextTable
 
@@ -75,6 +77,28 @@ def build_parser() -> argparse.ArgumentParser:
                           choices=("psd", "flat", "agnostic"))
     optimize.add_argument("--min-bits", type=int, default=4)
     optimize.add_argument("--max-bits", type=int, default=24)
+
+    sweep = commands.add_parser(
+        "sweep",
+        help="sweep noise budgets into a cost-vs-noise Pareto front")
+    _add_common_arguments(sweep)
+    budgets = sweep.add_mutually_exclusive_group(required=True)
+    budgets.add_argument("--budgets", type=float, nargs="+",
+                         help="explicit noise-power budgets to sweep")
+    budgets.add_argument("--budget-range", type=float, nargs=3,
+                         metavar=("LOOSEST", "TIGHTEST", "COUNT"),
+                         help="geometric budget sweep (count points)")
+    sweep.add_argument("--method", default="psd",
+                       choices=("psd", "flat", "agnostic"))
+    sweep.add_argument("--min-bits", type=int, default=4)
+    sweep.add_argument("--max-bits", type=int, default=24)
+    sweep.add_argument("--validate-samples", type=int, default=0,
+                       help="cross-validate every point by a Monte-Carlo "
+                            "run of this many samples (0 disables)")
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--sequential", action="store_true",
+                       help="disable configuration batching (the timing "
+                            "baseline; results are identical)")
     return parser
 
 
@@ -140,11 +164,35 @@ def _command_optimize(args) -> int:
     return 0
 
 
+def _command_sweep(args) -> int:
+    graph = load_graph(args.system)
+    if args.budget_range is not None:
+        loosest, tightest, count = args.budget_range
+        budgets = budget_range(loosest, tightest, int(count))
+    else:
+        budgets = args.budgets
+    front = sweep_noise_budgets(
+        graph, budgets,
+        method=args.method, n_psd=args.n_psd,
+        min_bits=args.min_bits, max_bits=args.max_bits,
+        batch=not args.sequential,
+        validate_samples=args.validate_samples, seed=args.seed)
+    if not front.points:
+        print("error: no budget in the sweep is reachable within "
+              f"{args.max_bits} fractional bits", file=sys.stderr)
+        return 1
+    print(front.describe())
+    print(f"pareto-optimal points: {len(front.pareto_points())} "
+          f"of {len(front.points)}")
+    return 0
+
+
 _COMMANDS = {
     "evaluate": _command_evaluate,
     "simulate": _command_simulate,
     "compare": _command_compare,
     "optimize": _command_optimize,
+    "sweep": _command_sweep,
 }
 
 

@@ -30,6 +30,7 @@ from repro.fixedpoint.quantizer import (
     OverflowMode,
     Quantizer,
     RoundingMode,
+    round_half_away,
 )
 
 
@@ -145,7 +146,7 @@ class FxpArray:
             if rounding is RoundingMode.TRUNCATE:
                 mantissa = np.floor(scaled)
             elif rounding is RoundingMode.ROUND:
-                mantissa = np.floor(scaled + 0.5)
+                mantissa = round_half_away(scaled)
             else:
                 mantissa = np.rint(scaled)
             mantissa = mantissa.astype(np.int64)

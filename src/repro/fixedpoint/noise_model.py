@@ -16,20 +16,31 @@ grid (re-quantization from ``d_in`` to ``d_out`` fractional bits).
 With ``q_out = 2**-d_out`` the output step and ``q_in`` the input step
 (``q_in = 0`` for a continuous-amplitude input):
 
-================  =========================  ============================
+================  =========================  ================================
 mode              mean                        variance
-================  =========================  ============================
+================  =========================  ================================
 truncation        ``-(q_out - q_in) / 2``    ``(q_out**2 - q_in**2) / 12``
-round half-up     ``q_in / 2``               ``(q_out**2 - q_in**2) / 12``
+round (MATLAB)    ``0``                      ``(q_out**2 + 2 q_in**2) / 12``
 convergent        ``0``                      ``(q_out**2 - q_in**2) / 12``
-================  =========================  ============================
+================  =========================  ================================
 
 These expressions are exact for a discrete input uniformly distributed on
-its grid and are the standard PQN approximations otherwise.
+its grid and symmetric about zero, and are the standard PQN approximations
+otherwise.  ``ROUND`` is MATLAB ``round`` — ties away from zero, an *odd*
+characteristic — so positive and negative tie errors (``±q_out/2``, hit
+with probability ``q_in / q_out``) cancel in the mean but add the
+``q_in**2 / 4`` tie term to the variance:
+``(q_out**2 - q_in**2) / 12 + q_in**2 / 4 = (q_out**2 + 2 q_in**2) / 12``.
+For a continuous input (``q_in = 0``) ties have probability zero and the
+classical ``q_out**2 / 12`` is recovered.  (``CONVERGENT`` keeps the
+standard continuous-input expression; its discrete-input tie term is
+neglected, a documented approximation.)
 
 The PSD of such a noise source, discretized over ``n_psd`` frequency bins
-(Eq. 10 of the paper), is white over the non-DC bins and carries the
-squared mean on the DC bin; it is produced by :func:`quantization_noise_psd`.
+(Eq. 10 of the paper), spreads the variance uniformly over all bins and
+adds the squared mean on the DC bin; it is produced by
+:func:`quantization_noise_psd` and matches
+:meth:`repro.psd.spectrum.DiscretePsd.values` bin for bin.
 """
 
 from __future__ import annotations
@@ -125,7 +136,11 @@ def quantization_noise_stats(
     if rounding is RoundingMode.TRUNCATE:
         mean = -(q_out - q_in) / 2.0
     elif rounding is RoundingMode.ROUND:
-        mean = q_in / 2.0
+        # Ties away from zero (MATLAB round) has an odd characteristic:
+        # the ±q_out/2 tie errors cancel in the mean for a sign-symmetric
+        # input but contribute q_in**2 / 4 of extra variance.
+        mean = 0.0
+        variance += q_in ** 2 / 4.0
     else:  # convergent rounding is unbiased
         mean = 0.0
     return NoiseStats(mean=mean, variance=variance)
@@ -138,13 +153,19 @@ def quantization_noise_psd(
     """Discrete PSD of a white quantization-noise source (Eq. 10).
 
     The convention used throughout this library is that the ``n_psd`` bins
-    of a discrete PSD *sum* to the total signal power ``E[x^2]``.  For a
-    white noise of moments ``(mu, sigma^2)`` this yields
+    of a discrete PSD *sum* to the total signal power ``E[x^2]``, with the
+    variance spread uniformly over **all** bins (DC included) and the
+    squared mean added on the DC bin.  For a white noise of moments
+    ``(mu, sigma^2)`` this yields
 
-    * ``sigma^2 / (n_psd - 1)`` on every non-DC bin, and
-    * ``mu^2`` on the DC bin,
+    * ``sigma^2 / n_psd`` on every non-DC bin, and
+    * ``mu^2 + sigma^2 / n_psd`` on the DC bin,
 
-    so that the sum over all bins equals ``mu^2 + sigma^2``.
+    so that the sum over all bins equals ``mu^2 + sigma^2``.  This is
+    exactly :meth:`repro.psd.spectrum.DiscretePsd.values` of
+    ``DiscretePsd.white(stats, n_psd)`` and bin-by-bin identical to what
+    :meth:`repro.psd.propagation.TrackedSpectrum.to_psd` produces for a
+    single white source, so all engines share one normalization.
 
     Parameters
     ----------
@@ -160,8 +181,8 @@ def quantization_noise_psd(
     """
     if n_psd < 2:
         raise ValueError(f"n_psd must be at least 2, got {n_psd}")
-    psd = np.full(n_psd, stats.variance / (n_psd - 1), dtype=float)
-    psd[0] = stats.mean ** 2
+    psd = np.full(n_psd, stats.variance / n_psd, dtype=float)
+    psd[0] += stats.mean ** 2
     return psd
 
 
@@ -171,8 +192,9 @@ def equivalent_bits(power_ratio: float) -> float:
     Halving the fractional word length multiplies the noise power by 4
     (one bit is ``10*log10(4) ~ 6 dB``).  This helper converts a power
     ratio into its equivalent bit count, which is how the paper defines the
-    "sub-one-bit accuracy" objective: a relative deviation ``Ed`` within
-    ``(-75 %, +300 %)`` corresponds to less than one bit.
+    "sub-one-bit accuracy" objective: with ``Ed = (sim - est) / sim``, a
+    relative deviation within ``(-300 %, +75 %)`` corresponds to less than
+    one bit (see :func:`repro.analysis.metrics.is_sub_one_bit`).
     """
     if power_ratio <= 0:
         raise ValueError("power_ratio must be positive")

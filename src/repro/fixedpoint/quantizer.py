@@ -22,9 +22,10 @@ from repro.fixedpoint.qformat import QFormat
 class RoundingMode(str, enum.Enum):
     """Supported rounding modes.
 
-    * ``ROUND`` — round to nearest, ties away from zero upward
-      (MATLAB ``round`` semantics, the mode used in the paper's
-      experiments).
+    * ``ROUND`` — round to nearest, ties away from zero (MATLAB ``round``
+      semantics, the mode used in the paper's experiments).  The rounding
+      characteristic is odd — ``round(-x) == -round(x)`` — so ties on the
+      negative axis go towards minus infinity.
     * ``TRUNCATE`` — truncation towards minus infinity (two's-complement
       truncation, i.e. ``floor``).
     * ``CONVERGENT`` — round to nearest, ties to even (unbiased).
@@ -51,9 +52,16 @@ class OverflowMode(str, enum.Enum):
     NONE = "none"
 
 
-def _round_half_up(mantissa: np.ndarray) -> np.ndarray:
-    """Round to nearest integer with ties going towards +infinity."""
-    return np.floor(mantissa + 0.5)
+def round_half_away(mantissa: np.ndarray) -> np.ndarray:
+    """Round to nearest integer with ties going away from zero.
+
+    This is MATLAB's ``round``: an odd characteristic, so ``-0.5`` maps to
+    ``-1`` (not ``0`` as the asymmetric ``floor(x + 0.5)`` would give).
+    Shared by every data-path and coefficient rounding site of the library
+    so that all ``RoundingMode.ROUND`` quantizations agree bit for bit.
+    """
+    mantissa = np.asarray(mantissa)
+    return np.copysign(np.floor(np.abs(mantissa) + 0.5), mantissa)
 
 
 def _round_convergent(mantissa: np.ndarray) -> np.ndarray:
@@ -61,9 +69,10 @@ def _round_convergent(mantissa: np.ndarray) -> np.ndarray:
     return np.rint(mantissa)
 
 
-def _apply_rounding(mantissa: np.ndarray, mode: RoundingMode) -> np.ndarray:
+def apply_rounding(mantissa: np.ndarray, mode: RoundingMode) -> np.ndarray:
+    """Apply one :class:`RoundingMode` to an array of step mantissas."""
     if mode is RoundingMode.ROUND:
-        return _round_half_up(mantissa)
+        return round_half_away(mantissa)
     if mode is RoundingMode.TRUNCATE:
         return np.floor(mantissa)
     if mode is RoundingMode.CONVERGENT:
@@ -117,7 +126,7 @@ class Quantizer:
         """Quantize ``values`` and return the result as floating point."""
         values = np.asarray(values, dtype=float)
         mantissa = values / self.fmt.step
-        mantissa = _apply_rounding(mantissa, self.rounding)
+        mantissa = apply_rounding(mantissa, self.rounding)
         mantissa = _apply_overflow(mantissa, self.fmt, self.overflow)
         return mantissa * self.fmt.step
 

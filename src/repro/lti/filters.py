@@ -18,7 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.fixedpoint.quantizer import Quantizer, RoundingMode
+from repro.fixedpoint.quantizer import Quantizer, RoundingMode, round_half_away
 from repro.fixedpoint.qformat import QFormat
 from repro.lti.transfer_function import TransferFunction
 
@@ -224,7 +224,7 @@ class IirFilter:
                 if rounding is RoundingMode.TRUNCATE:
                     y[..., n] = floor(acc / step) * step
                 elif rounding is RoundingMode.ROUND:
-                    y[..., n] = floor(acc / step + 0.5) * step
+                    y[..., n] = round_half_away(acc / step) * step
                 else:
                     y[..., n] = np.rint(acc / step) * step
             return y
@@ -238,7 +238,7 @@ class IirFilter:
             if rounding is RoundingMode.TRUNCATE:
                 y[n] = floor(acc / step) * step
             elif rounding is RoundingMode.ROUND:
-                y[n] = floor(acc / step + 0.5) * step
+                y[n] = round_half_away(acc / step) * step
             else:
                 y[n] = np.rint(acc / step) * step
         return y

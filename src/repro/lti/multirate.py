@@ -65,17 +65,19 @@ def downsample_psd(psd: np.ndarray, factor: int = 2) -> np.ndarray:
     Parameters
     ----------
     psd:
-        Input PSD on ``n`` bins; ``n`` must be divisible by ``factor``.
+        Input PSD on ``n`` bins (the last axis; leading axes are
+        independent configurations); ``n`` must be divisible by
+        ``factor``.
     factor:
         Down-sampling factor.
     """
     psd = np.asarray(psd, dtype=float)
     _check_factor(factor)
-    n = len(psd)
+    n = psd.shape[-1]
     if n % factor != 0:
         raise ValueError(f"PSD length {n} is not divisible by factor {factor}")
     out_len = n // factor
-    return psd.reshape(factor, out_len).sum(axis=0)
+    return psd.reshape(psd.shape[:-1] + (factor, out_len)).sum(axis=-2)
 
 
 def upsample_psd(psd: np.ndarray, factor: int = 2) -> np.ndarray:
@@ -89,11 +91,13 @@ def upsample_psd(psd: np.ndarray, factor: int = 2) -> np.ndarray:
         S_y[k] = S_x[k mod n] / L**2           (output length L * n)
 
     (one factor of ``L`` spreads the power over ``L`` times more bins, the
-    other accounts for the actual power loss of zero insertion).
+    other accounts for the actual power loss of zero insertion).  The last
+    axis is the bin axis; leading axes are independent configurations.
     """
     psd = np.asarray(psd, dtype=float)
     _check_factor(factor)
-    return np.tile(psd / (factor * factor), factor)
+    reps = (1,) * (psd.ndim - 1) + (factor,)
+    return np.tile(psd / (factor * factor), reps)
 
 
 def _check_factor(factor: int) -> None:

@@ -20,12 +20,14 @@ provides:
 """
 
 from repro.psd.spectrum import DiscretePsd
+from repro.psd.batch import PsdStack
 from repro.psd.estimation import estimate_psd, periodogram, welch
 from repro.psd.propagation import TrackedSpectrum
 from repro.psd.cross_spectrum import cross_power_spectrum
 
 __all__ = [
     "DiscretePsd",
+    "PsdStack",
     "estimate_psd",
     "periodogram",
     "welch",

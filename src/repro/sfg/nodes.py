@@ -26,7 +26,7 @@ from functools import lru_cache
 import numpy as np
 
 from repro.fixedpoint.noise_model import NoiseStats, quantization_noise_stats
-from repro.fixedpoint.quantizer import Quantizer, RoundingMode
+from repro.fixedpoint.quantizer import Quantizer, RoundingMode, round_half_away
 from repro.fixedpoint.qformat import QFormat
 from repro.lti.filters import FirFilter, FixedPointFilterConfig, IirFilter
 from repro.lti.transfer_function import TransferFunction
@@ -328,7 +328,7 @@ class GainNode(_LtiMixin, Node):
     def _quantized_gain(self) -> float:
         if self.quantization.enabled and self.quantization.coeff_bits is not None:
             step = 2.0 ** (-self.quantization.coeff_bits)
-            return float(np.floor(self.gain / step + 0.5) * step)
+            return float(round_half_away(self.gain / step) * step)
         return self.gain
 
     def transfer_function(self) -> TransferFunction:
@@ -400,7 +400,7 @@ class FirNode(_LtiMixin, Node):
     def _effective_transfer_function(self) -> TransferFunction:
         if self.quantization.enabled and self.quantization.coeff_bits is not None:
             step = 2.0 ** (-self.quantization.coeff_bits)
-            quantized = np.floor(self.filter.taps / step + 0.5) * step
+            quantized = round_half_away(self.filter.taps / step) * step
             return TransferFunction.fir(quantized)
         return self.transfer_function()
 
@@ -446,8 +446,8 @@ class IirNode(_LtiMixin, Node):
     def _effective_transfer_function(self) -> TransferFunction:
         if self.quantization.enabled and self.quantization.coeff_bits is not None:
             step = 2.0 ** (-self.quantization.coeff_bits)
-            b = np.floor(self.filter.b / step + 0.5) * step
-            a = np.floor(self.filter.a / step + 0.5) * step
+            b = round_half_away(self.filter.b / step) * step
+            a = round_half_away(self.filter.a / step) * step
             return TransferFunction(b, a)
         return self.transfer_function()
 
@@ -455,7 +455,7 @@ class IirNode(_LtiMixin, Node):
         """Transfer function from the internal quantizer to the output."""
         if self.quantization.enabled and self.quantization.coeff_bits is not None:
             step = 2.0 ** (-self.quantization.coeff_bits)
-            a = np.floor(self.filter.a / step + 0.5) * step
+            a = round_half_away(self.filter.a / step) * step
             return TransferFunction([1.0], a)
         return self.filter.noise_transfer_function()
 

@@ -32,9 +32,17 @@ edits (assigning to ``GainNode.gain`` and the like) are detected by
 any *structural* change to the graph (adding / removing nodes or edges,
 swapping node objects) requires a new plan, which :func:`compile_plan`
 detects automatically.
+
+On top of single-configuration reuse, :class:`ConfigStack` resolves a
+whole *stack* of word-length assignments against one plan — per-step
+noise moments with a leading config axis, responses shared per effective
+coefficient precision — which is what the configuration-batched
+analytical walks (``evaluate_*_batch``) consume.
 """
 
 from __future__ import annotations
+
+from contextlib import contextmanager
 
 import numpy as np
 
@@ -201,68 +209,176 @@ class CompiledPlan:
             node.quantization = node.quantization.with_fractional_bits(bits)
         self.refresh()
 
+    @contextmanager
+    def preserve_quantization(self):
+        """Context manager restoring every node's spec on exit.
+
+        Used by the batched evaluations that temporarily requantize the
+        plan (group representatives, per-config fixed-point runs) and must
+        leave the caller's quantization state untouched.
+        """
+        saved = {name: node.quantization
+                 for name, node in self.graph.nodes.items()}
+        try:
+            yield self
+        finally:
+            for name, spec in saved.items():
+                self.graph.node(name).quantization = spec
+            self.refresh()
+
     def _coeff_key(self, step: PlanStep):
         spec = step.node.quantization
         return spec.coeff_bits if spec.enabled else None
 
+    def coeff_key_for_bits(self, step: PlanStep, bits: int | None):
+        """Effective coefficient precision for a hypothetical word length.
+
+        Mirrors :attr:`QuantizationSpec.coeff_bits` after
+        ``with_fractional_bits(bits)``: ``None`` when quantization would be
+        disabled, the pinned ``coefficient_fractional_bits`` when set, the
+        data precision otherwise.
+        """
+        if bits is None:
+            return None
+        spec = step.node.quantization
+        if spec.coefficient_fractional_bits is not None:
+            return spec.coefficient_fractional_bits
+        return bits
+
+    def _compute_with_bits(self, step: PlanStep, bits: int | None, compute):
+        """Evaluate ``compute(node)`` as if the step had ``bits`` data bits.
+
+        The node's spec is swapped for the duration of the call and always
+        restored, so the plan's signatures stay consistent.  When ``bits``
+        already is the live word length the node is used as-is.
+        """
+        node = step.node
+        spec = node.quantization
+        if spec.fractional_bits == bits:
+            return compute(node)
+        node.quantization = spec.with_fractional_bits(bits)
+        try:
+            return compute(node)
+        finally:
+            node.quantization = spec
+
     # ------------------------------------------------------------------
     # Memoized per-node transfer functions / responses
     # ------------------------------------------------------------------
-    def block_tf(self, step: PlanStep) -> TransferFunction:
-        """Effective (coefficient-quantized) transfer function of a block."""
-        key = (step.index, "block", self._coeff_key(step))
+    def block_tf_for_bits(self, step: PlanStep,
+                          bits: int | None) -> TransferFunction:
+        """Effective transfer function at a hypothetical word length."""
+        key = (step.index, "block", self.coeff_key_for_bits(step, bits))
         tf = self._tf_cache.get(key)
         if tf is None:
-            tf = step.node._effective_transfer_function()
+            tf = self._compute_with_bits(
+                step, bits, lambda node: node._effective_transfer_function())
             self._tf_cache[key] = tf
         return tf
+
+    def shaping_tf_for_bits(self, step: PlanStep,
+                            bits: int | None) -> TransferFunction:
+        """Noise-shaping function at a hypothetical word length."""
+        key = (step.index, "shaping", self.coeff_key_for_bits(step, bits))
+        tf = self._tf_cache.get(key)
+        if tf is None:
+            tf = self._compute_with_bits(
+                step, bits, lambda node: node.noise_shaping_function())
+            self._tf_cache[key] = tf
+        return tf
+
+    def block_tf(self, step: PlanStep) -> TransferFunction:
+        """Effective (coefficient-quantized) transfer function of a block."""
+        return self.block_tf_for_bits(step,
+                                      step.node.quantization.fractional_bits)
 
     def shaping_tf(self, step: PlanStep) -> TransferFunction:
         """Noise-shaping function of an IIR block's internal quantizer."""
-        key = (step.index, "shaping", self._coeff_key(step))
-        tf = self._tf_cache.get(key)
-        if tf is None:
-            tf = step.node.noise_shaping_function()
-            self._tf_cache[key] = tf
-        return tf
+        return self.shaping_tf_for_bits(step,
+                                        step.node.quantization.fractional_bits)
+
+    def block_response_for_bits(self, step: PlanStep, bits: int | None,
+                                n_bins: int) -> np.ndarray:
+        """Block frequency response at a hypothetical word length."""
+        key = (step.index, "block", self.coeff_key_for_bits(step, bits),
+               n_bins)
+        response = self._response_cache.get(key)
+        if response is None:
+            response = self.block_tf_for_bits(step, bits).frequency_response(
+                n_bins)
+            self._response_cache[key] = response
+        return response
+
+    def shaping_response_for_bits(self, step: PlanStep, bits: int | None,
+                                  n_bins: int) -> np.ndarray:
+        """Noise-shaping response at a hypothetical word length."""
+        key = (step.index, "shaping", self.coeff_key_for_bits(step, bits),
+               n_bins)
+        response = self._response_cache.get(key)
+        if response is None:
+            response = self.shaping_tf_for_bits(step, bits).frequency_response(
+                n_bins)
+            self._response_cache[key] = response
+        return response
 
     def block_response(self, step: PlanStep, n_bins: int) -> np.ndarray:
         """Complex frequency response of a block on ``n_bins`` bins."""
-        key = (step.index, "block", self._coeff_key(step), n_bins)
-        response = self._response_cache.get(key)
-        if response is None:
-            response = self.block_tf(step).frequency_response(n_bins)
-            self._response_cache[key] = response
-        return response
+        return self.block_response_for_bits(
+            step, step.node.quantization.fractional_bits, n_bins)
 
     def shaping_response(self, step: PlanStep, n_bins: int) -> np.ndarray:
         """Noise-shaping frequency response of an IIR block."""
-        key = (step.index, "shaping", self._coeff_key(step), n_bins)
-        response = self._response_cache.get(key)
-        if response is None:
-            response = self.shaping_tf(step).frequency_response(n_bins)
-            self._response_cache[key] = response
-        return response
+        return self.shaping_response_for_bits(
+            step, step.node.quantization.fractional_bits, n_bins)
+
+    def block_gains_for_bits(self, step: PlanStep,
+                             bits: int | None) -> tuple[float, float]:
+        """``(energy, coefficient_sum)`` at a hypothetical word length."""
+        key = (step.index, "block", self.coeff_key_for_bits(step, bits))
+        gains = self._gain_cache.get(key)
+        if gains is None:
+            tf = self.block_tf_for_bits(step, bits)
+            gains = (tf.energy(), tf.coefficient_sum())
+            self._gain_cache[key] = gains
+        return gains
+
+    def shaping_gains_for_bits(self, step: PlanStep,
+                               bits: int | None) -> tuple[float, float]:
+        """Noise-shaping ``(energy, coefficient_sum)`` at a word length."""
+        key = (step.index, "shaping", self.coeff_key_for_bits(step, bits))
+        gains = self._gain_cache.get(key)
+        if gains is None:
+            tf = self.shaping_tf_for_bits(step, bits)
+            gains = (tf.energy(), tf.coefficient_sum())
+            self._gain_cache[key] = gains
+        return gains
 
     def block_gains(self, step: PlanStep) -> tuple[float, float]:
         """``(energy, coefficient_sum)`` of a block's transfer function."""
-        key = (step.index, "block", self._coeff_key(step))
-        gains = self._gain_cache.get(key)
-        if gains is None:
-            tf = self.block_tf(step)
-            gains = (tf.energy(), tf.coefficient_sum())
-            self._gain_cache[key] = gains
-        return gains
+        return self.block_gains_for_bits(step,
+                                         step.node.quantization.fractional_bits)
 
     def shaping_gains(self, step: PlanStep) -> tuple[float, float]:
         """``(energy, coefficient_sum)`` of an IIR noise-shaping function."""
-        key = (step.index, "shaping", self._coeff_key(step))
-        gains = self._gain_cache.get(key)
-        if gains is None:
-            tf = self.shaping_tf(step)
-            gains = (tf.energy(), tf.coefficient_sum())
-            self._gain_cache[key] = gains
-        return gains
+        return self.shaping_gains_for_bits(
+            step, step.node.quantization.fractional_bits)
+
+    def noise_for_bits(self, step: PlanStep, bits: int | None) -> NoiseStats:
+        """Moments the step would generate with ``bits`` fractional bits."""
+        if bits == step.node.quantization.fractional_bits:
+            return step.noise if step.noise is not None else NoiseStats(0.0, 0.0)
+        return self._compute_with_bits(
+            step, bits, lambda node: node.generated_noise())
+
+    def config_stack(self, assignments) -> "ConfigStack":
+        """Resolve a stack of word-length assignments against this plan.
+
+        ``assignments`` is a sequence of ``{node name: fractional bits}``
+        mappings (``None`` disables quantization; unnamed nodes keep their
+        current word length).  The returned :class:`ConfigStack` is what
+        the batched analytical walks consume.
+        """
+        return ConfigStack(self, assignments)
 
     # ------------------------------------------------------------------
     # Own-noise injection helpers (used by the analytical engines)
@@ -408,6 +524,167 @@ class CompiledPlan:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"CompiledPlan({self.graph.name!r}, steps={len(self.steps)}, "
                 f"noise_sources={len(self.noise_steps)})")
+
+
+# ----------------------------------------------------------------------
+# Configuration stacks (the batched-evaluation axis)
+# ----------------------------------------------------------------------
+class ConfigStack:
+    """A stack of word-length assignments resolved against one plan.
+
+    The batched analytical walks evaluate ``K`` word-length configurations
+    of the *same* graph structure in a single pass: noise-source moments
+    gain a leading config axis, and per-node frequency responses are
+    shared across the stack whenever the configs agree on the node's
+    effective coefficient precision (they always do when
+    ``coefficient_fractional_bits`` is pinned; otherwise only the configs
+    that change that node's data bits get their own response row, served
+    from the plan's memoized cache).
+
+    Parameters
+    ----------
+    plan:
+        The compiled plan the assignments apply to.
+    assignments:
+        Sequence of ``{node name: fractional bits}`` mappings.  ``None``
+        disables quantization for that node; nodes absent from a mapping
+        keep their current word length.  The assignments are *resolved*
+        against the plan state at construction time — later mutations of
+        the graph's specs do not retroactively change the stack.
+    """
+
+    __slots__ = ("plan", "size", "_bits", "_noise")
+
+    def __init__(self, plan: CompiledPlan, assignments):
+        assignments = list(assignments)
+        if not assignments:
+            raise ValueError("the configuration stack is empty")
+        plan.refresh()
+        known = set(plan.graph.nodes)
+        unknown = set().union(*assignments) - known
+        if unknown:
+            raise ValueError(
+                f"assignment names unknown to the graph: {sorted(unknown)}")
+        self.plan = plan
+        self.size = len(assignments)
+        self._bits: list[tuple] = []
+        self._noise: list[tuple[np.ndarray, np.ndarray] | None] = []
+        for step in plan.steps:
+            default = step.node.quantization.fractional_bits
+            bits = tuple(assignment.get(step.name, default)
+                         for assignment in assignments)
+            self._bits.append(bits)
+            per_bits: dict = {}
+            means = np.zeros(self.size)
+            variances = np.zeros(self.size)
+            any_noise = False
+            for k, b in enumerate(bits):
+                stats = per_bits.get(b)
+                if stats is None:
+                    stats = plan.noise_for_bits(step, b)
+                    per_bits[b] = stats
+                means[k] = stats.mean
+                variances[k] = stats.variance
+                if stats.variance > 0.0 or stats.mean != 0.0:
+                    any_noise = True
+            self._noise.append((means, variances) if any_noise else None)
+
+    # ------------------------------------------------------------------
+    # Per-step queries
+    # ------------------------------------------------------------------
+    def bits(self, step: PlanStep) -> tuple:
+        """Per-config data-path fractional bits of one step."""
+        return self._bits[step.index]
+
+    def noise(self, step: PlanStep):
+        """Per-config noise moments ``(means, variances)`` of one step.
+
+        ``None`` when no config generates noise at this step; configs with
+        a silent quantizer carry exact zeros.
+        """
+        return self._noise[step.index]
+
+    def resolved(self, config: int) -> dict:
+        """Full ``{node name: bits}`` assignment of one config."""
+        return {step.name: self._bits[step.index][config]
+                for step in self.plan.steps
+                if step.node.quantization.enabled
+                or self._bits[step.index][config] is not None}
+
+    def coefficient_signatures(self) -> list[tuple]:
+        """Per-config tuples of effective coefficient precisions.
+
+        Configs with equal signatures share every frequency response and
+        transfer function — the grouping key used by the batched flat
+        method and the batched simulation (which share reference runs
+        within a group).  Only nodes whose behaviour actually quantizes
+        coefficients (gains, FIR taps, IIR coefficients) contribute;
+        coefficient-free nodes would otherwise split groups that share
+        identical transfer behaviour.
+        """
+        dependent = [step for step in self.plan.steps
+                     if isinstance(step.node, (GainNode, FirNode, IirNode))]
+        return [tuple(self.plan.coeff_key_for_bits(step,
+                                                   self._bits[step.index][k])
+                      for step in dependent)
+                for k in range(self.size)]
+
+    def coefficient_groups(self) -> list[list[int]]:
+        """Config indices grouped by equal coefficient signature.
+
+        Within one group every transfer function, frequency response and
+        double-precision reference behaviour is shared; only the noise
+        moments (and the fixed-point data paths) differ per member.
+        """
+        groups: dict[tuple, list[int]] = {}
+        for config, signature in enumerate(self.coefficient_signatures()):
+            groups.setdefault(signature, []).append(config)
+        return list(groups.values())
+
+    # ------------------------------------------------------------------
+    # Per-step responses / gains (scalar when shared, stacked otherwise)
+    # ------------------------------------------------------------------
+    def _stacked(self, step: PlanStep, lookup):
+        bits = self._bits[step.index]
+        keys = {self.plan.coeff_key_for_bits(step, b) for b in bits}
+        if len(keys) == 1:
+            return lookup(bits[0])
+        return [lookup(b) for b in bits]
+
+    def block_response(self, step: PlanStep, n_bins: int) -> np.ndarray:
+        """Block response: ``(n_bins,)`` when shared, ``(K, n_bins)`` else."""
+        rows = self._stacked(
+            step, lambda b: self.plan.block_response_for_bits(step, b, n_bins))
+        return rows if isinstance(rows, np.ndarray) else np.stack(rows)
+
+    def shaping_response(self, step: PlanStep, n_bins: int) -> np.ndarray:
+        """Noise-shaping response, shared or per-config stacked."""
+        rows = self._stacked(
+            step,
+            lambda b: self.plan.shaping_response_for_bits(step, b, n_bins))
+        return rows if isinstance(rows, np.ndarray) else np.stack(rows)
+
+    def block_gains(self, step: PlanStep):
+        """``(energy, dc)`` scalars when shared, ``(K,)`` arrays else."""
+        pairs = self._stacked(
+            step, lambda b: self.plan.block_gains_for_bits(step, b))
+        if isinstance(pairs, tuple):
+            return pairs
+        return (np.array([p[0] for p in pairs]),
+                np.array([p[1] for p in pairs]))
+
+    def shaping_gains(self, step: PlanStep):
+        """Noise-shaping ``(energy, dc)``, shared or per-config arrays."""
+        pairs = self._stacked(
+            step, lambda b: self.plan.shaping_gains_for_bits(step, b))
+        if isinstance(pairs, tuple):
+            return pairs
+        return (np.array([p[0] for p in pairs]),
+                np.array([p[1] for p in pairs]))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"ConfigStack(size={self.size}, "
+                f"plan={self.plan.graph.name!r})")
 
 
 # ----------------------------------------------------------------------

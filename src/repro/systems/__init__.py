@@ -9,7 +9,10 @@
   decoder of Fig. 3.
 * :mod:`~repro.systems.wordlength` — the word-length refinement use-case
   motivating the whole study (greedy optimization driven by any of the
-  accuracy evaluators).
+  accuracy evaluators, with configuration-batched candidate rounds).
+* :mod:`~repro.systems.pareto` — noise-budget sweeps turning the optimizer
+  into a cost-vs-noise Pareto front (optionally cross-validated by
+  simulation).
 """
 
 from repro.systems.filter_bank import (
@@ -27,6 +30,12 @@ from repro.systems.freq_filter import (
 )
 from repro.systems.dwt import Dwt97Codec, daubechies_9_7_filters
 from repro.systems.wordlength import WordLengthOptimizer, WordLengthResult
+from repro.systems.pareto import (
+    ParetoFront,
+    ParetoPoint,
+    budget_range,
+    sweep_noise_budgets,
+)
 
 __all__ = [
     "FilterBankEntry",
@@ -42,4 +51,8 @@ __all__ = [
     "daubechies_9_7_filters",
     "WordLengthOptimizer",
     "WordLengthResult",
+    "ParetoFront",
+    "ParetoPoint",
+    "budget_range",
+    "sweep_noise_budgets",
 ]

@@ -22,6 +22,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.fixedpoint.quantizer import round_half_away
+
 # Analysis low-pass (9 taps, symmetric, DC gain 1).
 _ANALYSIS_LOWPASS = np.array([
     0.026748757410810,
@@ -78,7 +80,7 @@ class WaveletFilters:
         step = 2.0 ** (-fractional_bits)
 
         def q(taps: np.ndarray) -> np.ndarray:
-            return np.floor(taps / step + 0.5) * step
+            return round_half_away(taps / step) * step
 
         return WaveletFilters(
             analysis_lowpass=q(self.analysis_lowpass),

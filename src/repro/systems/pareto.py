@@ -1,0 +1,213 @@
+"""Cost-vs-noise Pareto exploration built on the batched optimizer.
+
+The paper's motivation for fast accuracy evaluation is the word-length
+*design space*: a designer does not want the optimum for one noise budget
+but the whole cost-versus-accuracy trade-off curve.  This module sweeps a
+range of noise budgets through :class:`~repro.systems.wordlength.
+WordLengthOptimizer` — one compiled plan, one frequency-response cache and
+configuration-batched greedy rounds shared across the entire sweep — and
+collects the resulting ``(total bits, noise power)`` points into a Pareto
+front.
+
+Each front point can optionally be cross-validated against the
+Monte-Carlo reference; the validation runs through
+:meth:`~repro.analysis.simulation_method.SimulationEvaluator.
+evaluate_batch`, which shares the double-precision reference run between
+every front point with the same effective coefficient precisions.
+
+Exposed on the command line as ``python -m repro.cli sweep``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.metrics import ed_deviation
+from repro.analysis.simulation_method import SimulationEvaluator
+from repro.data.signals import uniform_white_noise
+from repro.sfg.graph import SignalFlowGraph
+from repro.sfg.plan import compile_plan
+from repro.systems.wordlength import WordLengthOptimizer
+from repro.utils.tables import TextTable
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One optimized configuration of the cost-vs-noise trade-off.
+
+    Attributes
+    ----------
+    budget:
+        Noise-power budget the optimizer was asked to meet.
+    total_bits:
+        Cost of the optimized assignment (sum of fractional bits).
+    noise_power:
+        Estimated output noise power of the assignment.
+    assignment:
+        The optimized per-node word lengths.
+    evaluations:
+        Analytical evaluations the optimizer spent on this budget.
+    simulated_power:
+        Monte-Carlo cross-validation of ``noise_power`` (``None`` unless
+        the sweep was asked to validate).
+    """
+
+    budget: float
+    total_bits: int
+    noise_power: float
+    assignment: dict = field(hash=False)
+    evaluations: int
+    simulated_power: float | None = None
+
+    @property
+    def ed(self) -> float | None:
+        """Deviation ``Ed`` of the estimate vs the validation run."""
+        if self.simulated_power is None:
+            return None
+        return ed_deviation(self.simulated_power, self.noise_power)
+
+
+@dataclass
+class ParetoFront:
+    """Result of one budget sweep.
+
+    ``points`` holds one entry per requested budget (sorted by budget,
+    loosest first); :meth:`pareto_points` filters them down to the
+    non-dominated subset.
+    """
+
+    system: str
+    method: str
+    points: list = field(default_factory=list)
+
+    def pareto_points(self) -> list:
+        """Non-dominated points: no other point is cheaper *and* quieter."""
+        optimal = []
+        for point in self.points:
+            dominated = any(
+                (other.total_bits <= point.total_bits
+                 and other.noise_power <= point.noise_power
+                 and (other.total_bits < point.total_bits
+                      or other.noise_power < point.noise_power))
+                for other in self.points)
+            if not dominated:
+                optimal.append(point)
+        return sorted(optimal, key=lambda p: p.total_bits)
+
+    @property
+    def total_evaluations(self) -> int:
+        """Analytical evaluations spent over the whole sweep."""
+        return sum(point.evaluations for point in self.points)
+
+    def describe(self) -> str:
+        """Render the front as the text table printed by the CLI."""
+        validated = any(p.simulated_power is not None for p in self.points)
+        headers = ["budget", "total bits", "est. power", "evals"]
+        if validated:
+            headers += ["sim. power", "Ed [%]"]
+        on_front = {id(p) for p in self.pareto_points()}
+        table = TextTable(
+            headers + ["on front?"],
+            title=(f"{self.system}: cost-vs-noise sweep ({self.method}, "
+                   f"{len(self.points)} budgets, "
+                   f"{self.total_evaluations} evaluations)"))
+        for point in self.points:
+            row = [f"{point.budget:.3e}", point.total_bits,
+                   f"{point.noise_power:.3e}", point.evaluations]
+            if validated:
+                if point.simulated_power is None:
+                    row += ["-", "-"]
+                else:
+                    row += [f"{point.simulated_power:.3e}",
+                            round(100.0 * point.ed, 2)]
+            row.append("yes" if id(point) in on_front else "no")
+            table.add_row(*row)
+        return table.render()
+
+
+def budget_range(loosest: float, tightest: float, count: int) -> np.ndarray:
+    """Geometrically spaced noise budgets from ``loosest`` to ``tightest``."""
+    if loosest <= 0 or tightest <= 0:
+        raise ValueError("noise budgets must be positive")
+    if count < 1:
+        raise ValueError(f"need at least one budget, got {count}")
+    if count == 1:
+        return np.array([float(loosest)])
+    return np.geomspace(loosest, tightest, count)
+
+
+def sweep_noise_budgets(system: SignalFlowGraph, budgets,
+                        method: str = "psd", n_psd: int = 256,
+                        min_bits: int = 4, max_bits: int = 24,
+                        batch: bool = True,
+                        validate_samples: int = 0,
+                        seed: int = 0) -> ParetoFront:
+    """Sweep noise budgets into a cost-vs-noise Pareto front.
+
+    Parameters
+    ----------
+    system:
+        Graph to optimize.  Its quantization specs are mutated during the
+        sweep and left at the tightest budget's optimum.
+    budgets:
+        Noise-power budgets to sweep (see :func:`budget_range`).  Budgets
+        that cannot be met even at ``max_bits`` are skipped (recorded
+        nowhere — the front only holds feasible points).
+    method, n_psd, min_bits, max_bits, batch:
+        Forwarded to :class:`WordLengthOptimizer`; one optimizer (hence
+        one compiled plan and one response cache) serves every budget.
+    validate_samples:
+        When positive, cross-validate every swept point by a Monte-Carlo
+        run of that many samples (batched, reference runs shared).
+    seed:
+        Seed of the validation stimulus.
+
+    Returns
+    -------
+    ParetoFront
+        One point per feasible budget, sorted loosest first.
+    """
+    budgets = sorted((float(b) for b in budgets), reverse=True)
+    if not budgets:
+        raise ValueError("no noise budgets to sweep")
+    if budgets[-1] <= 0:
+        raise ValueError("noise budgets must be positive")
+    optimizer = WordLengthOptimizer(system, method=method, n_psd=n_psd,
+                                    min_bits=min_bits, max_bits=max_bits,
+                                    batch=batch)
+    front = ParetoFront(system=system.name, method=method)
+    for budget in budgets:
+        try:
+            result = optimizer.optimize(budget)
+        except ValueError:
+            # Budget unreachable even at max_bits: tighter ones are too.
+            break
+        front.points.append(ParetoPoint(
+            budget=budget,
+            total_bits=result.total_bits,
+            noise_power=result.noise_power,
+            assignment=dict(result.assignment),
+            evaluations=result.evaluations,
+        ))
+
+    if validate_samples > 0 and front.points:
+        plan = compile_plan(system)
+        stimulus = {name: uniform_white_noise(validate_samples, 0.9,
+                                              seed + index)
+                    for index, name in enumerate(plan.input_names)}
+        evaluator = SimulationEvaluator(plan)
+        measurements = evaluator.evaluate_batch(
+            [point.assignment for point in front.points], stimulus)
+        front.points = [
+            ParetoPoint(
+                budget=point.budget,
+                total_bits=point.total_bits,
+                noise_power=point.noise_power,
+                assignment=point.assignment,
+                evaluations=point.evaluations,
+                simulated_power=measurement.error_power,
+            )
+            for point, measurement in zip(front.points, measurements)]
+    return front

@@ -22,18 +22,29 @@ The optimizer compiles the graph into a
 :class:`~repro.sfg.plan.CompiledPlan` once and re-quantizes it in place
 across search iterations, so the topological schedule and the memoized
 per-node frequency responses are shared by the (typically hundreds of)
-candidate evaluations.
+candidate evaluations.  By default every greedy round additionally
+evaluates *all* of its single-bit-decrement candidates as one
+configuration-batched pass (``evaluate_*_batch``) instead of one walk per
+candidate; the batched pass is bit-identical to the sequential loop, which
+``batch=False`` keeps available as a reference.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.analysis.agnostic_method import evaluate_agnostic
-from repro.analysis.flat_method import evaluate_flat
-from repro.analysis.psd_method import evaluate_psd
+import numpy as np
+
+from repro.analysis.agnostic_method import (
+    evaluate_agnostic,
+    evaluate_agnostic_batch,
+)
+from repro.analysis.flat_method import evaluate_flat, evaluate_flat_batch
+from repro.analysis.psd_method import evaluate_psd, evaluate_psd_batch
 from repro.sfg.graph import SignalFlowGraph
 from repro.sfg.plan import compile_plan
+
+_METHODS = ("psd", "flat", "agnostic")
 
 
 @dataclass
@@ -51,8 +62,11 @@ class WordLengthResult:
     total_bits:
         Sum of fractional bits over all optimized nodes (the cost).
     evaluations:
-        Number of analytical evaluations performed, a direct measure of
-        how much the evaluator's speed matters.
+        Number of distinct candidate evaluations performed (batched
+        candidates count individually), a direct measure of how much the
+        evaluator's speed matters.  Powers that are already known — the
+        uniform starting point and the final assignment — are reused, not
+        re-evaluated.
     history:
         Sequence of ``(assignment cost, noise power)`` pairs recorded
         after every accepted move.
@@ -82,18 +96,28 @@ class WordLengthOptimizer:
         PSD bins for the PSD-based evaluator.
     min_bits, max_bits:
         Search range for every node's fractional word length.
+    batch:
+        Whether each greedy round evaluates its candidates as one
+        configuration-batched pass (default) or one evaluation per
+        candidate.  Both paths return bit-identical assignments; the
+        sequential path exists as the equivalence / timing baseline.
     """
 
     def __init__(self, graph: SignalFlowGraph, method: str = "psd",
-                 n_psd: int = 256, min_bits: int = 4, max_bits: int = 24):
+                 n_psd: int = 256, min_bits: int = 4, max_bits: int = 24,
+                 batch: bool = True):
         if min_bits < 1 or max_bits < min_bits:
             raise ValueError(
                 f"invalid bit range [{min_bits}, {max_bits}]")
+        if method not in _METHODS:
+            raise ValueError(
+                f"unknown method {method!r}; expected one of {_METHODS}")
         self.graph = graph
         self.method = method
         self.n_psd = n_psd
         self.min_bits = min_bits
         self.max_bits = max_bits
+        self.batch = batch
         self._evaluations = 0
         # The graph is compiled once; the search re-quantizes the plan in
         # place, so the schedule and the memoized per-node frequency
@@ -111,68 +135,104 @@ class WordLengthOptimizer:
         self._plan.requantize(assignment)
 
     def _noise_power(self, assignment: dict[str, int]) -> float:
+        """Evaluate one assignment (requantizes the plan in place)."""
         self._apply(assignment)
         self._evaluations += 1
         if self.method == "psd":
             return evaluate_psd(self._plan, self.n_psd).total_power
         if self.method == "flat":
             return evaluate_flat(self._plan).power
-        if self.method == "agnostic":
-            return evaluate_agnostic(self._plan).power
-        raise ValueError(f"unknown method {self.method!r}")
+        return evaluate_agnostic(self._plan).power
+
+    def _noise_powers(self, candidates: list[dict]) -> np.ndarray:
+        """Evaluate a whole candidate round, batched when enabled."""
+        if not self.batch:
+            return np.array([self._noise_power(candidate)
+                             for candidate in candidates])
+        self._evaluations += len(candidates)
+        if self.method == "psd":
+            result = evaluate_psd_batch(self._plan, self.n_psd, candidates)
+            return np.asarray(result.total_power, dtype=float)
+        if self.method == "flat":
+            result = evaluate_flat_batch(self._plan, candidates)
+        else:
+            result = evaluate_agnostic_batch(self._plan, candidates)
+        return np.asarray(result.power, dtype=float)
 
     # ------------------------------------------------------------------
     # Search
     # ------------------------------------------------------------------
     def uniform_search(self, budget: float) -> dict[str, int]:
         """Smallest uniform word length meeting the noise budget."""
+        assignment, _ = self._uniform_search(budget)
+        return assignment
+
+    def _uniform_search(self, budget: float) -> tuple[dict[str, int], float]:
+        """Uniform search returning the assignment *and* its known power.
+
+        The binary search always ends on a word length it has already
+        evaluated, so the caller never needs to re-measure the starting
+        point.
+        """
         if budget <= 0:
             raise ValueError("the noise budget must be positive")
         low, high = self.min_bits, self.max_bits
-        if self._noise_power({n: high for n in self._tunable}) > budget:
+        powers: dict[int, float] = {}
+        powers[high] = self._noise_power({n: high for n in self._tunable})
+        if powers[high] > budget:
             raise ValueError(
                 f"the budget {budget:.3e} cannot be met even with "
                 f"{high} fractional bits everywhere")
         while low < high:
             middle = (low + high) // 2
-            power = self._noise_power({n: middle for n in self._tunable})
-            if power <= budget:
+            powers[middle] = self._noise_power(
+                {n: middle for n in self._tunable})
+            if powers[middle] <= budget:
                 high = middle
             else:
                 low = middle + 1
-        return {n: high for n in self._tunable}
+        return {n: high for n in self._tunable}, powers[high]
 
     def optimize(self, budget: float) -> WordLengthResult:
         """Run the full greedy refinement under a noise-power budget."""
         self._evaluations = 0
-        assignment = self.uniform_search(budget)
-        history = [(sum(assignment.values()),
-                    self._noise_power(assignment))]
+        assignment, current_power = self._uniform_search(budget)
+        history = [(sum(assignment.values()), current_power)]
 
         improved = True
         while improved:
             improved = False
-            best_candidate = None
-            best_power = None
+            candidates = []
             for name in self._tunable:
                 if assignment[name] <= self.min_bits:
                     continue
                 candidate = dict(assignment)
                 candidate[name] -= 1
-                power = self._noise_power(candidate)
-                if power <= budget and (best_power is None or power < best_power):
-                    best_candidate = candidate
+                candidates.append(candidate)
+            if not candidates:
+                break
+            powers = self._noise_powers(candidates)
+            best_index = None
+            best_power = None
+            for index, power in enumerate(powers):
+                power = float(power)
+                if power <= budget and (best_power is None
+                                        or power < best_power):
+                    best_index = index
                     best_power = power
-            if best_candidate is not None:
-                assignment = best_candidate
+            if best_index is not None:
+                assignment = candidates[best_index]
+                current_power = best_power
                 history.append((sum(assignment.values()), best_power))
                 improved = True
 
-        final_power = self._noise_power(assignment)
+        # The final power is already known from the round that accepted
+        # the assignment (or from the uniform search) — re-quantize the
+        # plan to the winner without paying another evaluation.
         self._apply(assignment)
         return WordLengthResult(
             assignment=dict(assignment),
-            noise_power=final_power,
+            noise_power=current_power,
             budget=budget,
             total_bits=sum(assignment.values()),
             evaluations=self._evaluations,

@@ -1,0 +1,222 @@
+"""Configuration-batched evaluation must be bit-identical to sequential.
+
+The batched walks promise more than closeness: every row of a
+:class:`~repro.psd.batch.PsdStack` (and every entry of a batched
+:class:`~repro.fixedpoint.noise_model.NoiseStats`) applies exactly the
+same floating-point operations as the scalar walk of that configuration,
+so the comparisons below use strict equality, not tolerances.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.agnostic_method import (
+    evaluate_agnostic,
+    evaluate_agnostic_batch,
+)
+from repro.analysis.flat_method import evaluate_flat, evaluate_flat_batch
+from repro.analysis.psd_method import evaluate_psd, evaluate_psd_batch
+from repro.analysis.simulation_method import SimulationEvaluator
+from repro.lti.fir_design import design_fir_highpass, design_fir_lowpass
+from repro.lti.iir_design import design_iir_filter
+from repro.psd.batch import PsdStack
+from repro.sfg.builder import SfgBuilder
+from repro.sfg.plan import compile_plan
+
+
+def _cascade_graph(bits=12):
+    b, a = design_iir_filter(4, 0.3, kind="lowpass", family="butterworth")
+    builder = SfgBuilder("cascade")
+    s = builder.input("x", fractional_bits=bits)
+    s = builder.fir("f1", design_fir_lowpass(15, 0.4), s, fractional_bits=bits)
+    s = builder.iir("i1", b, a, s, fractional_bits=bits)
+    s = builder.gain("g1", 0.8, s, fractional_bits=bits)
+    s = builder.fir("f2", design_fir_highpass(9, 0.5), s, fractional_bits=bits)
+    builder.output("y", s)
+    return builder.build()
+
+
+def _multirate_graph(bits=10):
+    builder = SfgBuilder("two-channel")
+    s = builder.input("x", fractional_bits=bits)
+    s = builder.fir("h0", design_fir_lowpass(9, 0.45), s, fractional_bits=bits)
+    s = builder.downsample("down", s, factor=2)
+    s = builder.upsample("up", s, factor=2)
+    s = builder.fir("g0", design_fir_lowpass(9, 0.45), s, fractional_bits=bits)
+    builder.output("y", s)
+    return builder.build()
+
+
+_CASCADE_STACK = [
+    {"x": 12, "f1": 12, "i1": 12, "g1": 12, "f2": 12},
+    {"x": 11, "f1": 12, "i1": 12, "g1": 12, "f2": 12},
+    {"x": 12, "f1": 12, "i1": 10, "g1": 14, "f2": 12},
+    {"x": 8, "f1": 9, "i1": 16, "g1": 12, "f2": None},
+]
+
+
+class TestPsdBatch:
+    def test_rows_bit_identical_to_sequential(self):
+        graph = _cascade_graph()
+        plan = compile_plan(graph)
+        stack = evaluate_psd_batch(plan, 128, _CASCADE_STACK)
+        assert stack.size == len(_CASCADE_STACK)
+        for k, assignment in enumerate(_CASCADE_STACK):
+            plan.requantize(assignment)
+            scalar = evaluate_psd(plan, 128)
+            np.testing.assert_array_equal(stack.ac[k], scalar.ac)
+            assert stack.mean[k] == scalar.mean
+            assert stack.total_power[k] == scalar.total_power
+
+    def test_multirate_rows_bit_identical(self):
+        graph = _multirate_graph()
+        plan = compile_plan(graph)
+        assignments = [{"x": 10, "h0": 10, "g0": 10},
+                       {"x": 8, "h0": 12, "g0": 9},
+                       {"x": 14, "h0": 7, "g0": 11}]
+        stack = evaluate_psd_batch(plan, 64, assignments)
+        for k, assignment in enumerate(assignments):
+            plan.requantize(assignment)
+            scalar = evaluate_psd(plan, 64)
+            np.testing.assert_array_equal(stack.ac[k], scalar.ac)
+            assert stack.mean[k] == scalar.mean
+
+    def test_select_extracts_scalar_psd(self):
+        graph = _cascade_graph()
+        stack = evaluate_psd_batch(graph, 64, _CASCADE_STACK)
+        one = stack.select(2)
+        np.testing.assert_array_equal(one.ac, stack.ac[2])
+        assert one.mean == stack.mean[2]
+
+    def test_batch_does_not_mutate_specs(self):
+        graph = _cascade_graph(bits=12)
+        evaluate_psd_batch(graph, 64, _CASCADE_STACK)
+        for name in ("x", "f1", "i1", "g1", "f2"):
+            assert graph.node(name).quantization.fractional_bits == 12
+
+    def test_unknown_node_rejected(self):
+        graph = _cascade_graph()
+        with pytest.raises(ValueError, match="unknown"):
+            evaluate_psd_batch(graph, 64, [{"nope": 8}])
+
+    def test_empty_stack_rejected(self):
+        graph = _cascade_graph()
+        with pytest.raises(ValueError):
+            evaluate_psd_batch(graph, 64, [])
+
+
+class TestStatsBatch:
+    def test_agnostic_entries_bit_identical(self):
+        graph = _cascade_graph()
+        plan = compile_plan(graph)
+        batched = evaluate_agnostic_batch(plan, _CASCADE_STACK)
+        for k, assignment in enumerate(_CASCADE_STACK):
+            plan.requantize(assignment)
+            scalar = evaluate_agnostic(plan)
+            assert batched.mean[k] == scalar.mean
+            assert batched.variance[k] == scalar.variance
+            assert batched.power[k] == scalar.power
+
+    def test_flat_entries_bit_identical(self):
+        graph = _cascade_graph()
+        plan = compile_plan(graph)
+        batched = evaluate_flat_batch(plan, _CASCADE_STACK)
+        for k, assignment in enumerate(_CASCADE_STACK):
+            plan.requantize(assignment)
+            scalar = evaluate_flat(plan)
+            assert batched.mean[k] == scalar.mean
+            assert batched.variance[k] == scalar.variance
+
+    def test_flat_restores_quantization_state(self):
+        graph = _cascade_graph(bits=12)
+        evaluate_flat_batch(graph, _CASCADE_STACK)
+        for name in ("x", "f1", "i1", "g1", "f2"):
+            assert graph.node(name).quantization.fractional_bits == 12
+
+
+class TestSimulationBatch:
+    def test_matches_per_config_evaluation(self, rng):
+        graph = _cascade_graph()
+        plan = compile_plan(graph)
+        evaluator = SimulationEvaluator(plan)
+        stimulus = {"x": rng.uniform(-0.9, 0.9, 4096)}
+        assignments = _CASCADE_STACK[:3]
+        batched = evaluator.evaluate_batch(assignments, stimulus)
+        assert len(batched) == 3
+        for assignment, measured in zip(assignments, batched):
+            plan.requantize(assignment)
+            scalar = SimulationEvaluator(plan).evaluate(stimulus)
+            assert measured.error_power == scalar.error_power
+            assert measured.error_mean == scalar.error_mean
+            assert measured.num_samples == scalar.num_samples
+
+    def test_restores_quantization_state(self, rng):
+        graph = _cascade_graph(bits=12)
+        evaluator = SimulationEvaluator(compile_plan(graph))
+        evaluator.evaluate_batch(_CASCADE_STACK[:2],
+                                 {"x": rng.uniform(-0.9, 0.9, 1024)})
+        for name in ("x", "f1", "i1", "g1", "f2"):
+            assert graph.node(name).quantization.fractional_bits == 12
+
+    def test_coefficient_free_nodes_share_one_group(self):
+        # Configs differing only at nodes without quantized coefficients
+        # (here the input) share every transfer function, so they must
+        # land in one group and share the double-precision reference run.
+        graph = _cascade_graph()
+        from repro.sfg.plan import compile_plan as _compile
+        plan = _compile(graph)
+        stack = plan.config_stack([
+            {"x": 12}, {"x": 10}, {"x": 8},
+        ])
+        assert stack.coefficient_groups() == [[0, 1, 2]]
+
+    def test_coefficient_tracking_nodes_split_groups(self):
+        graph = _cascade_graph()
+        from repro.sfg.plan import compile_plan as _compile
+        plan = _compile(graph)
+        stack = plan.config_stack([
+            {"f1": 12}, {"f1": 10}, {"f1": 12, "x": 9},
+        ])
+        assert stack.coefficient_groups() == [[0, 2], [1]]
+
+    def test_protocol_systems_rejected(self):
+        class Protocol:
+            def run_reference(self, stimulus):
+                return stimulus
+
+            def run_fixed_point(self, stimulus):
+                return stimulus
+
+        evaluator = SimulationEvaluator(Protocol())
+        with pytest.raises(TypeError):
+            evaluator.evaluate_batch([{"x": 8}], np.zeros(16))
+
+
+class TestPsdStackContainer:
+    def test_white_matches_scalar_white(self):
+        from repro.fixedpoint.noise_model import NoiseStats
+        from repro.psd.spectrum import DiscretePsd
+        stack = PsdStack.white(np.array([0.5, 0.0]), np.array([1.0, 2.0]), 8)
+        scalar = DiscretePsd.white(NoiseStats(0.5, 1.0), 8)
+        np.testing.assert_array_equal(stack.ac[0], scalar.ac)
+        assert stack.mean[0] == scalar.mean
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            PsdStack(np.zeros(8), np.zeros(1))
+        with pytest.raises(ValueError):
+            PsdStack(np.zeros((2, 8)), np.zeros(3))
+        with pytest.raises(ValueError):
+            PsdStack.zero(0, 8)
+
+    def test_mismatched_addition_rejected(self):
+        with pytest.raises(ValueError):
+            PsdStack.zero(2, 8) + PsdStack.zero(2, 16)
+        with pytest.raises(ValueError):
+            PsdStack.zero(2, 8) + PsdStack.zero(3, 8)
+
+    def test_filtered_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            PsdStack.zero(2, 8).filtered(np.ones(4))
+        with pytest.raises(ValueError):
+            PsdStack.zero(2, 8).filtered(np.ones((3, 8)))

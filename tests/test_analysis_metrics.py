@@ -80,6 +80,17 @@ class TestOneBitBand:
         assert is_sub_one_bit(ed_deviation(1.0, 3.99))
         assert is_sub_one_bit(ed_deviation(3.99, 1.0))
 
+    def test_band_endpoints_pin_factor_of_four(self):
+        # With Ed = (sim - est)/sim the one-bit band is (-300 %, +75 %):
+        # the 4x over-estimate sits exactly on the lower endpoint, the 4x
+        # under-estimate exactly on the upper one, both excluded (open
+        # interval).
+        assert ed_deviation(1.0, 4.0) == pytest.approx(-3.0)
+        assert ed_deviation(4.0, 1.0) == pytest.approx(0.75)
+        eps = 1e-12
+        assert is_sub_one_bit(-3.0 + eps) and not is_sub_one_bit(-3.0)
+        assert is_sub_one_bit(0.75 - eps) and not is_sub_one_bit(0.75)
+
 
 class TestEquivalentBits:
     def test_equal_powers_give_zero_bits(self):

@@ -54,10 +54,19 @@ class TestContinuousInputModel:
 
 class TestDiscreteInputModel:
     def test_requantization_variance(self):
-        stats = quantization_noise_stats(4, RoundingMode.ROUND,
+        stats = quantization_noise_stats(4, RoundingMode.TRUNCATE,
                                          input_fractional_bits=8)
         q_out, q_in = 2.0 ** -4, 2.0 ** -8
         assert stats.variance == pytest.approx((q_out ** 2 - q_in ** 2) / 12.0)
+
+    def test_requantization_round_includes_tie_term(self):
+        # Ties away from zero: ±q_out/2 errors at the tie residue add
+        # q_in^2/4 of variance on top of the tie-free (q_out^2-q_in^2)/12.
+        stats = quantization_noise_stats(4, RoundingMode.ROUND,
+                                         input_fractional_bits=8)
+        q_out, q_in = 2.0 ** -4, 2.0 ** -8
+        assert stats.variance == pytest.approx(
+            (q_out ** 2 + 2.0 * q_in ** 2) / 12.0)
 
     def test_coarser_input_is_lossless(self):
         stats = quantization_noise_stats(8, RoundingMode.TRUNCATE,
@@ -65,10 +74,26 @@ class TestDiscreteInputModel:
         assert stats.mean == 0.0
         assert stats.variance == 0.0
 
-    def test_rounding_bias_for_discrete_input(self):
+    def test_rounding_unbiased_for_discrete_input(self):
+        # Ties away from zero is an odd characteristic: positive and
+        # negative tie errors cancel, so re-quantization stays unbiased.
         stats = quantization_noise_stats(4, RoundingMode.ROUND,
                                          input_fractional_bits=6)
-        assert stats.mean == pytest.approx((2.0 ** -6) / 2.0)
+        assert stats.mean == 0.0
+
+    def test_exhaustive_requantization_moments_match_model(self):
+        # Enumerate every representable value of a symmetric fine-grid
+        # range and compare the measured moments with the model exactly.
+        in_bits, out_bits = 6, 3
+        q_in = 2.0 ** -in_bits
+        mantissas = np.arange(-2 ** in_bits, 2 ** in_bits)  # [-1, 1) grid
+        x = mantissas * q_in
+        quantizer = Quantizer(QFormat(4, out_bits), rounding=RoundingMode.ROUND)
+        error = quantizer.error(x)
+        model = quantization_noise_stats(out_bits, RoundingMode.ROUND,
+                                         input_fractional_bits=in_bits)
+        assert np.mean(error) == pytest.approx(model.mean, abs=1e-15)
+        assert np.mean(error ** 2) == pytest.approx(model.power, rel=1e-12)
 
 
 class TestAgainstEmpiricalQuantization:
@@ -107,12 +132,15 @@ class TestNoisePsd:
         stats = NoiseStats(mean=0.25, variance=1.0)
         psd = quantization_noise_psd(stats, 64)
         assert np.sum(psd) == pytest.approx(stats.variance + stats.mean ** 2,
-                                            rel=0.02)
+                                            rel=1e-12)
 
-    def test_dc_bin_holds_mean_square(self):
+    def test_variance_spread_over_all_bins(self):
+        # Library-wide convention: variance/n on every bin (DC included),
+        # the squared mean added on top of the DC bin.
         stats = NoiseStats(mean=0.5, variance=1.0)
         psd = quantization_noise_psd(stats, 16)
-        assert psd[0] == pytest.approx(0.25)
+        assert psd[0] == pytest.approx(0.25 + 1.0 / 16.0)
+        np.testing.assert_allclose(psd[1:], 1.0 / 16.0)
 
     def test_requires_at_least_two_bins(self):
         with pytest.raises(ValueError):

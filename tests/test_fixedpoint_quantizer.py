@@ -19,10 +19,25 @@ class TestRounding:
         np.testing.assert_allclose(q(np.array([0.3, 0.4, -0.3])),
                                    [0.25, 0.5, -0.25])
 
-    def test_round_half_up_ties(self):
+    def test_round_ties_away_from_zero(self):
+        # MATLAB round semantics: ties go away from zero on both sides.
         q = Quantizer(QFormat(2, 1), rounding=RoundingMode.ROUND)
-        np.testing.assert_allclose(q(np.array([0.25, -0.25, 0.75])),
-                                   [0.5, 0.0, 1.0])
+        np.testing.assert_allclose(q(np.array([0.25, -0.25, 0.75, -0.75])),
+                                   [0.5, -0.5, 1.0, -1.0])
+
+    def test_round_is_odd_characteristic(self):
+        q = Quantizer(QFormat(4, 5), rounding=RoundingMode.ROUND)
+        x = np.linspace(-3.0, 3.0, 1537)  # includes exact tie values
+        np.testing.assert_array_equal(q(-x), -q(x))
+
+    def test_round_negative_ties_regression(self):
+        # -0.5 * step used to round towards +inf (floor(x + 0.5)); the
+        # corrected mode must match MATLAB round on every negative tie.
+        q = Quantizer(QFormat(4, 3), rounding=RoundingMode.ROUND)
+        step = q.step
+        ties = -np.array([0.5, 1.5, 2.5, 7.5]) * step
+        np.testing.assert_allclose(q(ties),
+                                   -np.array([1.0, 2.0, 3.0, 8.0]) * step)
 
     def test_truncate_goes_towards_minus_infinity(self):
         q = Quantizer(QFormat(2, 2), rounding=RoundingMode.TRUNCATE)

@@ -50,6 +50,41 @@ class TestWelch:
         psd = welch(rng.standard_normal(10), 64)
         assert psd.n_bins == 64
 
+    def test_short_record_preserves_variance_and_mean(self, rng):
+        # Zero padding must not leak into the scalar statistics: the bins
+        # still sum to the variance of the 10 actual samples.
+        x = rng.standard_normal(10) + 0.3
+        psd = welch(x, 64)
+        assert psd.variance == pytest.approx(float(np.var(x)), rel=1e-9)
+        assert psd.mean == pytest.approx(float(np.mean(x)))
+
+    def test_single_sample_record(self):
+        # Degenerate but legal: one sample has zero variance by definition.
+        psd = welch(np.array([0.7]), 16)
+        assert psd.n_bins == 16
+        assert psd.variance == 0.0
+        assert psd.mean == pytest.approx(0.7)
+
+    def test_record_exactly_one_segment(self, rng):
+        x = rng.standard_normal(64)
+        psd = welch(x, 64)
+        assert psd.n_bins == 64
+        assert psd.variance == pytest.approx(float(np.var(x)), rel=1e-9)
+
+    def test_overlap_near_one_clamps_hop_to_one_sample(self, rng):
+        # n_bins * (1 - overlap) rounds to zero here; the hop must clamp
+        # to one sample instead of looping forever or dividing by zero.
+        x = rng.standard_normal(200)
+        psd = welch(x, 64, overlap=0.999)
+        assert psd.n_bins == 64
+        assert psd.variance == pytest.approx(float(np.var(x)), rel=1e-9)
+
+    def test_high_overlap_matches_variance(self, rng):
+        x = rng.standard_normal(4096)
+        for overlap in (0.9, 0.99):
+            psd = welch(x, 128, overlap=overlap)
+            assert psd.variance == pytest.approx(float(np.var(x)), rel=1e-9)
+
     def test_constant_record_gives_zero_variance(self):
         psd = welch(np.full(1000, 0.25), 32)
         assert psd.variance == 0.0

@@ -124,3 +124,49 @@ class TestCrossSpectrumHelpers:
         b = DiscretePsd.zero(16)
         with pytest.raises(ValueError):
             cross_spectrum_contribution(a, b, np.ones(8))
+
+
+class TestWhiteSourceNormalization:
+    """One library-wide bin convention for a white source, all engines.
+
+    A white noise of moments ``(mu, sigma^2)`` on ``n`` bins is
+    ``sigma^2 / n`` on every bin plus ``mu^2`` on DC — whether it is built
+    by the PQN helper, the PSD engine's container, or collapsed from a
+    tracked spectrum.
+    """
+
+    def test_bin_by_bin_agreement_across_engines(self):
+        from repro.fixedpoint.noise_model import quantization_noise_psd
+
+        stats = NoiseStats(mean=0.125, variance=0.75)
+        n_bins = 32
+        model = quantization_noise_psd(stats, n_bins)
+        container = DiscretePsd.white(stats, n_bins).values
+        tracked = TrackedSpectrum.from_source("s", stats, n_bins)
+        collapsed = tracked.to_psd().values
+        np.testing.assert_allclose(model, container, rtol=1e-12)
+        np.testing.assert_allclose(model, collapsed, rtol=1e-12)
+        # And the convention itself: variance/n everywhere, mean^2 on DC.
+        np.testing.assert_allclose(model[1:], stats.variance / n_bins)
+        assert model[0] == pytest.approx(stats.mean ** 2
+                                         + stats.variance / n_bins)
+        assert np.sum(model) == pytest.approx(stats.power, rel=1e-12)
+
+    def test_single_source_graph_agrees_end_to_end(self):
+        # A quantized input feeding a plain output: the estimated output
+        # PSD is exactly the white source, in every engine.
+        from repro.analysis.psd_method import evaluate_psd, evaluate_psd_tracked
+        from repro.sfg.builder import SfgBuilder
+
+        builder = SfgBuilder("white-source")
+        x = builder.input("x", fractional_bits=8)
+        builder.output("y", x)
+        graph = builder.build()
+        source = graph.node("x").generated_noise()
+
+        psd = evaluate_psd(graph, 16)
+        tracked = evaluate_psd_tracked(graph, 16)
+        np.testing.assert_allclose(psd.values,
+                                   DiscretePsd.white(source, 16).values,
+                                   rtol=1e-12)
+        np.testing.assert_allclose(psd.values, tracked.values, rtol=1e-12)

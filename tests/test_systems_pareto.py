@@ -1,0 +1,125 @@
+"""Unit tests for the cost-vs-noise Pareto sweep."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.psd_method import evaluate_psd
+from repro.lti.fir_design import design_fir_highpass, design_fir_lowpass
+from repro.sfg.builder import SfgBuilder
+from repro.systems.pareto import (
+    ParetoFront,
+    ParetoPoint,
+    budget_range,
+    sweep_noise_budgets,
+)
+
+
+def _graph(bits=12):
+    builder = SfgBuilder("pareto-system")
+    x = builder.input("x", fractional_bits=bits)
+    lp = builder.fir("lp", design_fir_lowpass(15, 0.4), x,
+                     fractional_bits=bits)
+    hp = builder.fir("hp", design_fir_highpass(15, 0.5), lp,
+                     fractional_bits=bits)
+    builder.output("y", hp)
+    return builder.build()
+
+
+class TestBudgetRange:
+    def test_geometric_spacing(self):
+        budgets = budget_range(1e-4, 1e-8, 5)
+        np.testing.assert_allclose(budgets,
+                                   [1e-4, 1e-5, 1e-6, 1e-7, 1e-8], rtol=1e-9)
+
+    def test_single_point(self):
+        np.testing.assert_allclose(budget_range(1e-5, 1e-9, 1), [1e-5])
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            budget_range(0.0, 1e-8, 3)
+        with pytest.raises(ValueError):
+            budget_range(1e-4, 1e-8, 0)
+
+
+class TestSweep:
+    def test_points_meet_their_budgets(self):
+        graph = _graph()
+        front = sweep_noise_budgets(graph, budget_range(1e-5, 1e-8, 4),
+                                    n_psd=128)
+        assert len(front.points) == 4
+        for point in front.points:
+            assert point.noise_power <= point.budget
+            assert point.total_bits == sum(point.assignment.values())
+
+    def test_tighter_budgets_cost_more_bits(self):
+        front = sweep_noise_budgets(_graph(), budget_range(1e-5, 1e-9, 5),
+                                    n_psd=128)
+        costs = [point.total_bits for point in front.points]
+        assert costs == sorted(costs)
+
+    def test_points_match_standalone_evaluation(self):
+        graph = _graph()
+        front = sweep_noise_budgets(graph, [1e-6, 1e-8], n_psd=128)
+        for point in front.points:
+            from repro.sfg.plan import compile_plan
+            plan = compile_plan(graph)
+            plan.requantize(point.assignment)
+            assert evaluate_psd(plan, 128).total_power == point.noise_power
+
+    def test_unreachable_budgets_truncate_the_sweep(self):
+        front = sweep_noise_budgets(_graph(), [1e-5, 1e-30], n_psd=64,
+                                    max_bits=16)
+        assert len(front.points) == 1
+        assert front.points[0].budget == 1e-5
+
+    def test_batched_and_sequential_fronts_identical(self):
+        budgets = budget_range(1e-5, 1e-8, 3)
+        batched = sweep_noise_budgets(_graph(), budgets, n_psd=128,
+                                      batch=True)
+        sequential = sweep_noise_budgets(_graph(), budgets, n_psd=128,
+                                         batch=False)
+        for a, b in zip(batched.points, sequential.points):
+            assert a.assignment == b.assignment
+            assert a.noise_power == b.noise_power
+            assert a.evaluations == b.evaluations
+
+    def test_validation_attaches_simulated_powers(self):
+        front = sweep_noise_budgets(_graph(), [1e-5, 1e-7], n_psd=256,
+                                    validate_samples=20_000, seed=3)
+        for point in front.points:
+            assert point.simulated_power is not None
+            assert point.simulated_power > 0
+            # The estimate must sit well inside the sub-one-bit band.
+            assert -3.0 < point.ed < 0.75
+
+    def test_empty_budget_list_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_noise_budgets(_graph(), [])
+        with pytest.raises(ValueError):
+            sweep_noise_budgets(_graph(), [1e-6, -1.0])
+
+
+class TestParetoFront:
+    def _point(self, bits, power, budget=1e-6):
+        return ParetoPoint(budget=budget, total_bits=bits, noise_power=power,
+                           assignment={}, evaluations=1)
+
+    def test_dominated_points_filtered(self):
+        front = ParetoFront(system="s", method="psd", points=[
+            self._point(10, 1e-6),
+            self._point(12, 1e-6),   # more bits, same noise: dominated
+            self._point(10, 2e-6),   # same bits, more noise: dominated
+            self._point(8, 5e-6),
+        ])
+        optimal = front.pareto_points()
+        assert [p.total_bits for p in optimal] == [8, 10]
+
+    def test_describe_renders_every_point(self):
+        front = ParetoFront(system="s", method="psd", points=[
+            self._point(10, 1e-6), self._point(14, 1e-8)])
+        text = front.describe()
+        assert "cost-vs-noise sweep" in text
+        assert text.count("yes") == 2
+
+    def test_ed_requires_validation(self):
+        assert self._point(10, 1e-6).ed is None

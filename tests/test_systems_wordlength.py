@@ -2,9 +2,11 @@
 
 import pytest
 
+import repro.systems.wordlength as wordlength_module
 from repro.analysis.psd_method import evaluate_psd
 from repro.lti.fir_design import design_fir_highpass, design_fir_lowpass
 from repro.sfg.builder import SfgBuilder
+from repro.systems.filter_bank import build_filter_graph, generate_fir_bank, generate_iir_bank
 from repro.systems.wordlength import WordLengthOptimizer
 
 
@@ -87,3 +89,91 @@ class TestGreedyOptimization:
     def test_invalid_bit_range_rejected(self):
         with pytest.raises(ValueError):
             WordLengthOptimizer(_two_stage_graph(), min_bits=8, max_bits=4)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            WordLengthOptimizer(_two_stage_graph(), method="psychic")
+
+
+class TestBatchedGreedyEquivalence:
+    """Batched rounds must be bit-identical to the sequential baseline."""
+
+    @pytest.mark.parametrize("method", ["psd", "flat", "agnostic"])
+    def test_identical_on_cascade(self, method):
+        budget = 1e-6
+        batched = WordLengthOptimizer(_two_stage_graph(), method=method,
+                                      n_psd=128, batch=True).optimize(budget)
+        sequential = WordLengthOptimizer(_two_stage_graph(), method=method,
+                                         n_psd=128,
+                                         batch=False).optimize(budget)
+        assert batched.assignment == sequential.assignment
+        assert batched.noise_power == sequential.noise_power
+        assert batched.evaluations == sequential.evaluations
+        assert batched.history == sequential.history
+
+    def test_identical_on_table1_filter_bank(self):
+        # The Table-I graphs tie coefficient precision to the data path,
+        # so the batched rounds exercise per-config frequency responses.
+        entries = generate_fir_bank(2) + generate_iir_bank(2)
+        for entry in entries:
+            budget = 1e-7
+            batched = WordLengthOptimizer(
+                build_filter_graph(entry, 16), n_psd=128,
+                batch=True).optimize(budget)
+            sequential = WordLengthOptimizer(
+                build_filter_graph(entry, 16), n_psd=128,
+                batch=False).optimize(budget)
+            assert batched.assignment == sequential.assignment, entry.name
+            assert batched.noise_power == sequential.noise_power, entry.name
+            assert batched.history == sequential.history, entry.name
+
+
+class TestEvaluationAccounting:
+    """`evaluations` must count distinct candidate evaluations exactly."""
+
+    def _counting_optimizer(self, monkeypatch, batch):
+        counter = {"evaluations": 0}
+        real_scalar = wordlength_module.evaluate_psd
+        real_batch = wordlength_module.evaluate_psd_batch
+
+        def counting_scalar(system, n_psd, *args, **kwargs):
+            counter["evaluations"] += 1
+            return real_scalar(system, n_psd, *args, **kwargs)
+
+        def counting_batch(system, n_psd, assignments, *args, **kwargs):
+            counter["evaluations"] += len(assignments)
+            return real_batch(system, n_psd, assignments, *args, **kwargs)
+
+        monkeypatch.setattr(wordlength_module, "evaluate_psd",
+                            counting_scalar)
+        monkeypatch.setattr(wordlength_module, "evaluate_psd_batch",
+                            counting_batch)
+        optimizer = WordLengthOptimizer(_two_stage_graph(), method="psd",
+                                        n_psd=128, batch=batch)
+        return optimizer, counter
+
+    @pytest.mark.parametrize("batch", [True, False])
+    def test_reported_count_matches_actual_calls(self, monkeypatch, batch):
+        optimizer, counter = self._counting_optimizer(monkeypatch, batch)
+        result = optimizer.optimize(1e-7)
+        assert result.evaluations == counter["evaluations"]
+
+    @pytest.mark.parametrize("batch", [True, False])
+    def test_no_reevaluation_of_known_powers(self, monkeypatch, batch):
+        # history[0] comes from the binary search and the final power from
+        # the accepting round: the count is exactly the uniform-search
+        # evaluations plus one per greedy candidate, nothing on top.
+        optimizer, counter = self._counting_optimizer(monkeypatch, batch)
+        result = optimizer.optimize(1e-7)
+        # Every accepted move comes from one full candidate round, plus one
+        # final round that accepted nothing; on this graph no node reaches
+        # min_bits, so every round proposes one candidate per tunable node.
+        assert all(bits > optimizer.min_bits
+                   for bits in result.assignment.values())
+        greedy_evaluations = len(result.history) * len(optimizer._tunable)
+        uniform_evaluations = result.evaluations - greedy_evaluations
+        # Binary search over [4, 20] costs 1 (feasibility at max_bits)
+        # plus at most ceil(log2(width)) probes — and crucially not the
+        # extra history[0] / final_power evaluations the seed version paid.
+        assert 1 <= uniform_evaluations <= 6
+        assert result.evaluations == counter["evaluations"]
