@@ -1,0 +1,109 @@
+"""Campaign layer: batched throughput, cache amortization, parallelism.
+
+The campaign subsystem exists so that design-space exploration scales:
+overlapping campaigns must not recompute shared grid points, and
+independent scenarios must run concurrently.  Three claims are pinned:
+
+* **equivalence** — a process-pool run returns record-for-record
+  identical powers to the inline run (the pool is pure transport);
+* **cache** — re-running a campaign is served entirely from the
+  content-addressed cache and is at least 5x faster than the cold run;
+* **amortization** — a superset campaign (one extra wordlength per
+  scenario) recomputes only the new grid points.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.campaign import (
+    CampaignReport,
+    CampaignSpec,
+    ScenarioSpec,
+    StimulusSpec,
+    run_campaign,
+)
+from repro.utils.tables import TextTable
+
+from conftest import write_report
+
+
+def _campaign_spec(bench_config, wordlengths=(8, 12, 16)):
+    samples = 4_000 if bench_config["mode"] == "reduced" else 100_000
+    return CampaignSpec(
+        scenarios=(
+            ScenarioSpec("cascaded_sos_bank", {"channels": 2}),
+            ScenarioSpec("polyphase_decimator", {"factor": 4, "taps": 32}),
+            ScenarioSpec("interpolator_chain", {}),
+            ScenarioSpec("fft_butterfly", {"stages": 3}),
+        ),
+        methods=("psd", "agnostic", "simulation"),
+        wordlengths=tuple(wordlengths),
+        n_psd=min(256, bench_config["default_n_psd"]),
+        stimulus=StimulusSpec(num_samples=samples, discard_transient=128),
+        seed=17)
+
+
+def test_campaign_cache_and_parallel_speedup(bench_config, results_dir,
+                                             tmp_path):
+    spec = _campaign_spec(bench_config)
+    cache_dir = tmp_path / "cache"
+
+    start = time.perf_counter()
+    cold = run_campaign(spec, cache_dir=cache_dir, workers=1)
+    cold_seconds = time.perf_counter() - start
+    assert cold.cache_hits == 0
+
+    start = time.perf_counter()
+    warm = run_campaign(spec, cache_dir=cache_dir, workers=1)
+    warm_seconds = time.perf_counter() - start
+    assert warm.computed == 0
+    assert warm.hit_rate == 1.0
+    cache_speedup = cold_seconds / max(warm_seconds, 1e-9)
+    assert cache_speedup >= 5.0, (
+        f"warm campaign only {cache_speedup:.1f}x faster than cold")
+
+    # Pool transport must not change a single bit of the results.
+    pooled = run_campaign(spec, cache_dir=None, workers=4)
+    for a, b in zip(cold.records, pooled.records):
+        assert a["key"] == b["key"]
+        assert a["power"] == b["power"]
+
+    # A widened campaign recomputes only the new wordlength column.
+    widened = _campaign_spec(bench_config, wordlengths=(8, 12, 16, 20))
+    start = time.perf_counter()
+    superset = run_campaign(widened, cache_dir=cache_dir, workers=1)
+    superset_seconds = time.perf_counter() - start
+    assert superset.cache_hits == len(cold.records)
+    assert superset.computed == len(superset.records) - len(cold.records)
+
+    summary = CampaignReport(warm.records).summary()
+    table = TextTable(
+        ["run", "jobs", "computed", "cached", "seconds"],
+        title=(f"campaign cache amortization ({bench_config['mode']} mode, "
+               f"{len(spec.scenarios)} scenarios x "
+               f"{len(spec.methods)} methods x "
+               f"{len(spec.wordlengths)} wordlengths; "
+               f"warm/cold speedup {cache_speedup:.1f}x)"))
+    table.add_row("cold", cold.total_jobs, cold.computed, cold.cache_hits,
+                  round(cold_seconds, 3))
+    table.add_row("warm (re-run)", warm.total_jobs, warm.computed,
+                  warm.cache_hits, round(warm_seconds, 3))
+    table.add_row("superset (+1 wordlength)", superset.total_jobs,
+                  superset.computed, superset.cache_hits,
+                  round(superset_seconds, 3))
+    lines = [table.render(), ""]
+    lines.append("per-method accuracy on the warm run:")
+    for method, entry in summary["methods"].items():
+        if "ed_mean_abs_percent" in entry:
+            lines.append(
+                f"  {method:10s} mean|Ed| "
+                f"{entry['ed_mean_abs_percent']:7.2f} %   max|Ed| "
+                f"{entry['ed_max_abs_percent']:7.2f} %   sub-one-bit: "
+                f"{'all' if entry['all_sub_one_bit'] else 'NOT all'}")
+    write_report(results_dir, "campaign_cache_speedup.txt",
+                 "\n".join(lines))
+
+    for entry in summary["methods"].values():
+        if "all_sub_one_bit" in entry:
+            assert entry["all_sub_one_bit"]

@@ -1,0 +1,127 @@
+"""Content-addressed disk cache for campaign job results.
+
+Each record is one JSON file named by its job key (two-level fan-out,
+``<root>/<key[:2]>/<key>.json``), written atomically (temp file +
+``os.replace``) so a killed campaign never leaves a half-written record.
+Reads are defensive: an unreadable, undecodable or mis-keyed file is
+treated as a miss, counted, and removed so the slot heals on the next
+write.  This is what makes campaigns resumable — a re-run simply finds
+most of its jobs already on disk.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+CACHE_SCHEMA_VERSION = 1
+
+
+@dataclass
+class CacheStats:
+    """Hit / miss accounting of one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    corrupt: int = 0
+    puts: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of ``get`` calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from disk (0.0 when none)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class ResultCache:
+    """Content-addressed JSON store keyed by campaign job keys.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created on first write).  ``None`` disables the
+        cache: every lookup misses and writes are dropped — useful for
+        one-shot runs and for timing cold paths.
+    """
+
+    def __init__(self, root: str | Path | None):
+        self.root = Path(root) if root is not None else None
+        self.stats = CacheStats()
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the cache is backed by a directory."""
+        return self.root is not None
+
+    def path_for(self, key: str) -> Path:
+        """Location of a key's record (whether or not it exists)."""
+        if self.root is None:
+            raise ValueError("cache is disabled (no root directory)")
+        return self.root / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # Lookup / store
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> dict | None:
+        """Return the cached record for ``key``, or ``None`` on a miss.
+
+        Corrupt records — unparsable JSON, a non-dict payload, a record
+        whose embedded key does not match its filename, or an unreadable
+        file — are deleted and counted as misses.
+        """
+        if self.root is None:
+            self.stats.misses += 1
+            return None
+        path = self.path_for(key)
+        try:
+            record = json.loads(path.read_text())
+            if not isinstance(record, dict) or record.get("key") != key:
+                raise ValueError("record/key mismatch")
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, ValueError):
+            self.stats.misses += 1
+            self.stats.corrupt += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        return record
+
+    def put(self, key: str, record: dict) -> None:
+        """Store a record atomically under ``key``.
+
+        The record's ``key`` field is forced to match, and the write goes
+        through a temp file in the same directory followed by
+        ``os.replace`` so concurrent readers and killed writers never see
+        partial JSON.
+        """
+        if self.root is None:
+            return
+        record = {**record, "key": key,
+                  "cache_schema": CACHE_SCHEMA_VERSION}
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle, temp_name = tempfile.mkstemp(dir=path.parent,
+                                             suffix=".tmp")
+        try:
+            with os.fdopen(handle, "w") as stream:
+                json.dump(record, stream)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.puts += 1

@@ -1,0 +1,316 @@
+"""Cache-aware, batched, optionally parallel campaign execution.
+
+Execution strategy:
+
+* every job is first looked up in the content-addressed cache
+  (:mod:`repro.campaign.cache`); hits never reach a worker;
+* the remaining jobs are grouped *per scenario* and shipped as one
+  payload each — a worker deserializes the scenario graph once, compiles
+  one :class:`~repro.sfg.plan.CompiledPlan`, and runs every same-method
+  job of the scenario through the configuration-batched evaluation paths
+  (``evaluate_*_batch`` / ``SimulationEvaluator.evaluate_batch``), so a
+  word-length grid costs one batched walk instead of one walk per grid
+  point;
+* with ``workers > 1`` the per-scenario payloads run on a
+  :class:`~concurrent.futures.ProcessPoolExecutor` (payloads are plain
+  JSON-compatible dicts, so they pickle under any start method);
+* every completed record is written to the cache *and* appended to a
+  JSONL stream immediately, so a killed campaign loses at most the jobs
+  in flight — re-running the same spec resumes from the cache.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.agnostic_method import evaluate_agnostic_batch
+from repro.analysis.flat_method import evaluate_flat_batch
+from repro.analysis.psd_method import evaluate_psd_batch, evaluate_psd_tracked
+from repro.analysis.simulation_method import SimulationEvaluator
+from repro.campaign.cache import ResultCache
+from repro.campaign.jobs import (
+    CampaignSpec,
+    PreparedScenario,
+    StimulusSpec,
+    expand_campaign,
+)
+from repro.sfg.plan import compile_plan
+from repro.sfg.serialization import graph_from_dict
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one campaign run.
+
+    ``records`` holds one dict per grid point (cached and computed
+    alike), in a deterministic order (scenario order, then method, then
+    wordlength).  Grid points from overlapping scenario entries that
+    collapse to the same job key are computed once; such duplicates are
+    counted as cache hits (served from the first computation).
+    """
+
+    records: list = field(default_factory=list)
+    cache_hits: int = 0
+    computed: int = 0
+    skipped_unsupported: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def total_jobs(self) -> int:
+        """Grid points the campaign expanded to (hits + computed)."""
+        return self.cache_hits + self.computed
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of jobs served from the cache (0.0 when no jobs)."""
+        return self.cache_hits / self.total_jobs if self.total_jobs else 0.0
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def _scenario_payload(scenario: PreparedScenario, jobs: list) -> dict:
+    """JSON-compatible work order for one scenario (picklable under any
+    multiprocessing start method)."""
+    return {
+        "scenario": scenario.spec.name,
+        "signature": scenario.signature,
+        "params": dict(jobs[0].params),
+        "graph": scenario.graph_dict,
+        "stimulus": scenario.stimulus.canonical(),
+        "seed": jobs[0].seed,
+        "jobs": [{"key": job.key, "method": job.method,
+                  "wordlength": job.wordlength,
+                  "assignment": dict(job.assignment),
+                  "n_psd": job.n_psd} for job in jobs],
+    }
+
+
+def _base_record(payload: dict, job: dict) -> dict:
+    return {
+        "key": job["key"],
+        "scenario": payload["scenario"],
+        "signature": payload["signature"],
+        "params": payload["params"],
+        "method": job["method"],
+        "wordlength": job["wordlength"],
+        "seed": payload["seed"],
+        # Part of the report's estimate-vs-simulation join key: records
+        # produced under different stimuli must never be joined.
+        "stimulus": payload["stimulus"],
+    }
+
+
+def execute_scenario_payload(payload: dict) -> list[dict]:
+    """Run every job of one scenario payload; returns result records.
+
+    This is the function a pool worker executes.  The scenario graph is
+    rebuilt from its serialized form and compiled once; jobs are grouped
+    by method and each analytical group runs as a single
+    configuration-batched walk.  The Monte-Carlo group shares one
+    stimulus realization and the batched reference-run sharing of
+    :meth:`SimulationEvaluator.evaluate_batch`.
+    """
+    graph = graph_from_dict(payload["graph"])
+    plan = compile_plan(graph)
+    stimulus_spec = StimulusSpec.from_dict(payload["stimulus"])
+    records: list[dict] = []
+
+    by_method: dict[str, list[dict]] = {}
+    for job in payload["jobs"]:
+        by_method.setdefault(job["method"], []).append(job)
+
+    for method, jobs in by_method.items():
+        assignments = [job["assignment"] for job in jobs]
+        start = time.perf_counter()
+        if method == "psd":
+            stack = evaluate_psd_batch(plan, jobs[0]["n_psd"], assignments)
+            powers = stack.total_power
+            means, variances = stack.mean, stack.variance
+        elif method == "agnostic":
+            stats = evaluate_agnostic_batch(plan, assignments)
+            powers, means, variances = stats.power, stats.mean, stats.variance
+        elif method == "flat":
+            stats = evaluate_flat_batch(plan, assignments)
+            powers, means, variances = stats.power, stats.mean, stats.variance
+        elif method == "psd_tracked":
+            # No batched variant: correlation-exact tracking is per
+            # config; the plan (and its response caches) is still shared.
+            powers, means, variances = [], [], []
+            with plan.preserve_quantization():
+                for assignment in assignments:
+                    plan.requantize(assignment)
+                    psd = evaluate_psd_tracked(plan, jobs[0]["n_psd"])
+                    powers.append(psd.total_power)
+                    means.append(psd.mean)
+                    variances.append(psd.variance)
+        elif method == "simulation":
+            stimulus = stimulus_spec.realize(plan.input_names,
+                                             payload["seed"])
+            evaluator = SimulationEvaluator(plan)
+            measurements = evaluator.evaluate_batch(
+                assignments, stimulus,
+                discard_transient=stimulus_spec.discard_transient)
+            powers = [m.error_power for m in measurements]
+            means = [m.error_mean for m in measurements]
+            variances = [m.error_variance for m in measurements]
+        else:
+            raise ValueError(f"unknown job method {method!r}")
+        elapsed = time.perf_counter() - start
+
+        for index, job in enumerate(jobs):
+            record = _base_record(payload, job)
+            record.update(
+                power=float(np.asarray(powers)[index]),
+                mean=float(np.asarray(means)[index]),
+                variance=float(np.asarray(variances)[index]),
+                elapsed_seconds=elapsed / len(jobs),
+                batched_with=len(jobs))
+            if method in ("psd", "psd_tracked"):
+                record["n_psd"] = job["n_psd"]
+            if method == "simulation":
+                record["num_samples"] = stimulus_spec.num_samples
+            records.append(record)
+    return records
+
+
+# ----------------------------------------------------------------------
+# Driver side
+# ----------------------------------------------------------------------
+class _JsonlWriter:
+    """Append-mode JSONL stream, flushed per record (crash-safe tail)."""
+
+    def __init__(self, path: str | Path | None):
+        self._stream = None
+        if path is not None:
+            path = Path(path)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self._stream = path.open("a")
+
+    def write(self, record: dict) -> None:
+        if self._stream is not None:
+            import json
+            self._stream.write(json.dumps(record) + "\n")
+            self._stream.flush()
+
+    def close(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+
+def run_campaign(spec: CampaignSpec,
+                 cache: ResultCache | None = None,
+                 cache_dir: str | Path | None = None,
+                 output_path: str | Path | None = None,
+                 workers: int = 1) -> CampaignResult:
+    """Run a campaign: expand, serve from cache, execute the rest.
+
+    Parameters
+    ----------
+    spec:
+        The campaign description (scenarios x methods x wordlengths).
+    cache:
+        An existing :class:`ResultCache`; mutually exclusive with
+        ``cache_dir``.
+    cache_dir:
+        Directory of the content-addressed result cache; ``None`` (and no
+        ``cache``) disables caching.
+    output_path:
+        When given, every record (cached or computed) is appended to this
+        JSONL file as soon as it is known.
+    workers:
+        Process-pool width for the per-scenario payloads; ``<= 1`` runs
+        inline in this process (identical results).
+
+    Returns
+    -------
+    CampaignResult
+        All records plus hit / compute accounting.
+    """
+    if cache is not None and cache_dir is not None:
+        raise ValueError("pass either cache or cache_dir, not both")
+    if cache is None:
+        cache = ResultCache(cache_dir)
+    started = time.perf_counter()
+    prepared, _jobs, skipped = expand_campaign(spec)
+    writer = _JsonlWriter(output_path)
+    try:
+        records_by_key: dict[str, dict] = {}
+        pending: list[tuple[PreparedScenario, list]] = []
+        scheduled: set[str] = set()
+        hits = 0
+        for scenario in prepared:
+            misses = []
+            for job in scenario.jobs:
+                if job.key in scheduled:
+                    # Identical grid point from an overlapping scenario
+                    # entry: served from the first computation.
+                    hits += 1
+                    continue
+                cached = cache.get(job.key)
+                if cached is not None:
+                    cached = {**cached, "cached": True}
+                    records_by_key[job.key] = cached
+                    writer.write(cached)
+                    hits += 1
+                else:
+                    scheduled.add(job.key)
+                    misses.append(job)
+            if misses:
+                pending.append((scenario, misses))
+
+        def absorb(records: list[dict]) -> None:
+            for record in records:
+                record = {**record, "cached": False}
+                cache.put(record["key"], record)
+                records_by_key[record["key"]] = record
+                writer.write(record)
+
+        payloads = [_scenario_payload(scenario, jobs)
+                    for scenario, jobs in pending]
+        if workers > 1 and len(payloads) > 1:
+            with ProcessPoolExecutor(
+                    max_workers=min(workers, len(payloads))) as pool:
+                futures = [pool.submit(execute_scenario_payload, payload)
+                           for payload in payloads]
+                for future in as_completed(futures):
+                    absorb(future.result())
+        else:
+            for payload in payloads:
+                absorb(execute_scenario_payload(payload))
+    finally:
+        writer.close()
+
+    # Deterministic record order (expansion order), whatever the
+    # completion order of the pool was.  A grid point served by another
+    # entry's identical job (same content, e.g. factor=2 vs factor=2.0)
+    # is relabeled with its own scenario identity and marked cached —
+    # it was served from the first computation, matching how it is
+    # counted in ``cache_hits`` — so reports and the runner accounting
+    # always agree.
+    ordered = []
+    first_occurrence: set[str] = set()
+    for scenario in prepared:
+        for job in scenario.jobs:
+            record = records_by_key[job.key]
+            if job.key in first_occurrence:
+                record = {**record, "cached": True}
+            else:
+                first_occurrence.add(job.key)
+            if record["signature"] != job.signature:
+                record = {**record, "scenario": job.scenario,
+                          "signature": job.signature,
+                          "params": dict(job.params)}
+            ordered.append(record)
+    return CampaignResult(
+        records=ordered,
+        cache_hits=hits,
+        computed=len(ordered) - hits,
+        skipped_unsupported=skipped,
+        elapsed_seconds=time.perf_counter() - started)

@@ -45,6 +45,9 @@ from repro.sfg.plan import CompiledPlan, PlanStep, compile_plan
 from repro.sfg.executor import ExecutionResult, SfgExecutor
 from repro.sfg.builder import SfgBuilder
 from repro.sfg.serialization import (
+    assignment_fingerprint,
+    canonical_graph_dict,
+    graph_fingerprint,
     graph_from_dict,
     graph_to_dict,
     load_graph,
@@ -54,6 +57,9 @@ from repro.sfg.serialization import (
 __all__ = [
     "graph_to_dict",
     "graph_from_dict",
+    "canonical_graph_dict",
+    "graph_fingerprint",
+    "assignment_fingerprint",
     "save_graph",
     "load_graph",
     "Node",

@@ -29,6 +29,7 @@ The command-line front end (:mod:`repro.cli`) consumes these files.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 
@@ -125,6 +126,77 @@ def graph_to_dict(graph: SignalFlowGraph) -> dict:
 def save_graph(graph: SignalFlowGraph, path) -> None:
     """Write a graph to a JSON file."""
     Path(path).write_text(json.dumps(graph_to_dict(graph), indent=2) + "\n")
+
+
+# ----------------------------------------------------------------------
+# Canonical fingerprints
+# ----------------------------------------------------------------------
+def canonical_graph_dict(graph: SignalFlowGraph) -> dict:
+    """Ordering-stable variant of :func:`graph_to_dict`.
+
+    ``graph_to_dict`` preserves insertion order (useful for readable JSON
+    files); for content addressing the representation must not depend on
+    the order in which nodes and edges were added, so nodes are sorted by
+    name and edges by ``(target, port, source)``.
+    """
+    data = graph_to_dict(graph)
+    data["nodes"] = sorted(data["nodes"], key=lambda node: node["name"])
+    data["edges"] = sorted(data["edges"],
+                           key=lambda e: (e["target"], e["port"], e["source"]))
+    return data
+
+
+def canonical_digest(payload: dict) -> str:
+    """SHA-256 of a JSON-compatible payload in canonical form.
+
+    The single digest primitive shared by every content-addressing site
+    (graph / assignment fingerprints, campaign job keys, scenario
+    signatures): sorted keys, compact separators, ``allow_nan=False`` so
+    a stray NaN fails loudly instead of hashing as invalid JSON.
+    """
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def fingerprint_of_canonical_dict(canonical: dict) -> str:
+    """Graph fingerprint from an already-canonical serialized dict.
+
+    Callers that hold the :func:`canonical_graph_dict` output (e.g. the
+    campaign expansion, which ships it to workers anyway) can hash it
+    directly instead of re-serializing the graph.
+    """
+    return canonical_digest({"kind": "sfg-graph",
+                             "schema": SCHEMA_VERSION,
+                             "graph": canonical})
+
+
+def graph_fingerprint(graph: SignalFlowGraph) -> str:
+    """Canonical content hash of a graph (structure + quantization).
+
+    The digest covers the full serialized description — node types,
+    coefficients, wiring and word-length specs — in a byte-stable
+    canonical form (version-tagged, sorted keys, sorted nodes and edges),
+    so two graphs describing the same system hash identically regardless
+    of construction order.  Used as the content-address of campaign cache
+    keys (:mod:`repro.campaign.cache`).
+    """
+    return fingerprint_of_canonical_dict(canonical_graph_dict(graph))
+
+
+def assignment_fingerprint(assignment: dict) -> str:
+    """Canonical content hash of a word-length assignment.
+
+    ``assignment`` maps node names to fractional bit counts (``None``
+    disables quantization), as consumed by ``CompiledPlan.requantize`` and
+    the batched evaluators.  Keys are sorted, so dict insertion order does
+    not leak into the digest.
+    """
+    canonical = {str(name): (None if bits is None else int(bits))
+                 for name, bits in assignment.items()}
+    return canonical_digest({"kind": "wordlength-assignment",
+                             "schema": SCHEMA_VERSION,
+                             "assignment": canonical})
 
 
 # ----------------------------------------------------------------------

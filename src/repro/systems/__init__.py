@@ -13,6 +13,10 @@
 * :mod:`~repro.systems.pareto` — noise-budget sweeps turning the optimizer
   into a cost-vs-noise Pareto front (optionally cross-validated by
   simulation).
+* :mod:`~repro.systems.families` — graph builders for system families
+  beyond the paper's benchmarks (cascaded-SOS banks, polyphase
+  decimators, interpolator chains, FFT butterfly networks), the raw
+  material of the campaign scenario registry (:mod:`repro.campaign`).
 """
 
 from repro.systems.filter_bank import (
@@ -29,6 +33,13 @@ from repro.systems.freq_filter import (
     build_frequency_filter_graph,
 )
 from repro.systems.dwt import Dwt97Codec, daubechies_9_7_filters
+from repro.systems.families import (
+    build_cascaded_sos_bank,
+    build_dwt97_bank,
+    build_fft_butterfly,
+    build_interpolator_chain,
+    build_polyphase_decimator,
+)
 from repro.systems.wordlength import WordLengthOptimizer, WordLengthResult
 from repro.systems.pareto import (
     ParetoFront,
@@ -49,6 +60,11 @@ __all__ = [
     "build_frequency_filter_graph",
     "Dwt97Codec",
     "daubechies_9_7_filters",
+    "build_cascaded_sos_bank",
+    "build_dwt97_bank",
+    "build_fft_butterfly",
+    "build_interpolator_chain",
+    "build_polyphase_decimator",
     "WordLengthOptimizer",
     "WordLengthResult",
     "ParetoFront",

@@ -1,0 +1,272 @@
+"""Graph builders for system families beyond the paper's two benchmarks.
+
+The paper validates its estimator on the Table-I filter bank and the 9/7
+DWT codec; the campaign layer (:mod:`repro.campaign`) explores a much
+wider design space.  This module contributes the structural builders for
+four additional families, each produced as a plain
+:class:`~repro.sfg.graph.SignalFlowGraph` so that every evaluation engine
+(bit-true simulation, the analytical walks, the batched configuration
+stacks and the word-length optimizer) applies unchanged:
+
+* :func:`build_cascaded_sos_bank` — a bank of band-pass channels, each
+  realized as a cascade of second-order sections (Jackson's cascade noise
+  model, one quantizer per biquad), summed into one output;
+* :func:`build_polyphase_decimator` — an M-branch polyphase realization
+  of an FIR decimator (delay / decimate / sub-filter / sum);
+* :func:`build_interpolator_chain` — a chain of upsample-by-2 + half-band
+  FIR interpolation stages;
+* :func:`build_fft_butterfly` — the radix-2 decimation-in-time butterfly
+  network of one DFT bin applied along the sample stream (decimate into
+  even / odd phases, real twiddle gains, ± adders), the classical
+  fixed-point FFT noise structure;
+* :func:`build_dwt97_bank` — the one-level Daubechies 9/7 analysis +
+  synthesis bank as a multirate SFG (the paper's DWT benchmark reduced
+  to its filter-bank core).
+
+All builders share the convention of the Table-I systems: the input is
+quantized to ``fractional_bits`` and every arithmetic block re-quantizes
+its output to the same precision, so each block contributes one additive
+noise source.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fixedpoint.quantizer import RoundingMode
+from repro.lti.fir_design import design_fir_lowpass
+from repro.lti.iir_design import design_iir_filter
+from repro.lti.sos import tf_to_sos
+from repro.sfg.builder import SfgBuilder
+from repro.sfg.graph import SignalFlowGraph
+from repro.systems.dwt.daubechies97 import daubechies_9_7_filters
+
+
+def _append_sos_cascade(builder: SfgBuilder, prefix: str, b, a, source: str,
+                        fractional_bits: int,
+                        rounding: RoundingMode | str) -> str:
+    """Append ``B(z)/A(z)`` as a chain of quantized biquads; returns the
+    name of the last section."""
+    previous = source
+    for index, row in enumerate(tf_to_sos(b, a)):
+        previous = builder.iir(f"{prefix}-biquad{index}", row[:3], row[3:],
+                               previous, fractional_bits=fractional_bits,
+                               rounding=rounding)
+    return previous
+
+
+def build_cascaded_sos_bank(channels: int = 3, order: int = 2,
+                            fractional_bits: int = 12,
+                            family: str = "butterworth",
+                            rounding: RoundingMode | str = RoundingMode.ROUND,
+                            name: str | None = None) -> SignalFlowGraph:
+    """A bank of band-pass channels, each a cascade of biquad sections.
+
+    Parameters
+    ----------
+    channels:
+        Number of band-pass channels; their centre frequencies are spread
+        evenly over the band.
+    order:
+        Prototype order of each band-pass design (the digital order is
+        ``2 * order``, i.e. ``order`` biquads per channel).
+    fractional_bits:
+        Uniform fractional word length of every quantized signal.
+    family:
+        IIR design family (``butterworth`` or ``chebyshev1``).
+    """
+    if channels < 1:
+        raise ValueError(f"need at least one channel, got {channels}")
+    if order < 1:
+        raise ValueError(f"prototype order must be at least 1, got {order}")
+    builder = SfgBuilder(name or f"sos-bank-{channels}ch-order{order}")
+    x = builder.input("x", fractional_bits=fractional_bits, rounding=rounding)
+    channel_outputs = []
+    for channel in range(channels):
+        center = (0.45 if channels == 1
+                  else 0.15 + 0.6 * channel / (channels - 1))
+        low = max(0.05, center - 0.08)
+        high = min(0.92, center + 0.08)
+        b, a = design_iir_filter(order, (low, high), kind="bandpass",
+                                 family=family)
+        channel_outputs.append(_append_sos_cascade(
+            builder, f"ch{channel}", b, a, x, fractional_bits, rounding))
+    if len(channel_outputs) == 1:
+        builder.output("y", channel_outputs[0])
+    else:
+        merged = builder.add("merge", channel_outputs,
+                             fractional_bits=fractional_bits,
+                             rounding=rounding)
+        builder.output("y", merged)
+    return builder.build()
+
+
+def build_polyphase_decimator(taps: int = 32, factor: int = 4,
+                              fractional_bits: int = 12,
+                              cutoff: float | None = None,
+                              rounding: RoundingMode | str = RoundingMode.ROUND,
+                              name: str | None = None) -> SignalFlowGraph:
+    """An M-branch polyphase FIR decimator.
+
+    The prototype low-pass ``h`` is split into its ``factor`` polyphase
+    components ``e_k = h[k::factor]``; branch ``k`` delays the input by
+    ``k`` samples, decimates by ``factor`` and filters with ``e_k``, and
+    the branches are summed.  The output stream equals the decimated
+    output of the prototype filter while every sub-filter runs at the low
+    rate — the standard efficient decimator structure, and (because each
+    branch consumes a *disjoint* subset of the input samples) a multirate
+    system whose branch noise sources really are uncorrelated.
+
+    Parameters
+    ----------
+    taps:
+        Prototype filter length (must be at least ``factor``).
+    factor:
+        Decimation factor M (number of polyphase branches).
+    cutoff:
+        Prototype cutoff; defaults to ``0.8 / factor`` (the anti-aliasing
+        band edge).
+    """
+    if factor < 2:
+        raise ValueError(f"decimation factor must be at least 2, got {factor}")
+    if taps < factor:
+        raise ValueError(f"need at least factor={factor} taps, got {taps}")
+    prototype = design_fir_lowpass(taps, cutoff if cutoff is not None
+                                   else 0.8 / factor)
+    builder = SfgBuilder(name or f"polyphase-decimator-M{factor}-{taps}taps")
+    x = builder.input("x", fractional_bits=fractional_bits, rounding=rounding)
+    branches = []
+    for k in range(factor):
+        tapped = x if k == 0 else builder.delay(f"z{k}", x, samples=k)
+        low_rate = builder.downsample(f"down{k}", tapped, factor)
+        branches.append(builder.fir(
+            f"e{k}", list(prototype[k::factor]), low_rate,
+            fractional_bits=fractional_bits, rounding=rounding))
+    merged = builder.add("merge", branches, fractional_bits=fractional_bits,
+                         rounding=rounding)
+    builder.output("y", merged)
+    return builder.build()
+
+
+def build_interpolator_chain(stages: int = 2, taps: int = 19,
+                             fractional_bits: int = 12,
+                             rounding: RoundingMode | str = RoundingMode.ROUND,
+                             name: str | None = None) -> SignalFlowGraph:
+    """A chain of upsample-by-2 + low-pass FIR interpolation stages.
+
+    Each stage inserts zeros (doubling the rate) and filters with a
+    half-band-style low-pass scaled by 2 to restore the passband gain.
+    ``stages`` stages interpolate by ``2**stages`` overall; every image
+    filter is a quantized FIR block, so the chain accumulates one noise
+    source per stage shaped by all downstream stages.
+
+    Parameters
+    ----------
+    stages:
+        Number of upsample-by-2 stages.
+    taps:
+        Length of each stage's image-rejection filter.
+    """
+    if stages < 1:
+        raise ValueError(f"need at least one stage, got {stages}")
+    if taps < 3:
+        raise ValueError(f"need at least 3 taps, got {taps}")
+    image_filter = 2.0 * design_fir_lowpass(taps, 0.5)
+    builder = SfgBuilder(name or f"interpolator-chain-{stages}x2")
+    signal = builder.input("x", fractional_bits=fractional_bits,
+                           rounding=rounding)
+    for stage in range(stages):
+        expanded = builder.upsample(f"up{stage}", signal, 2)
+        signal = builder.fir(f"g{stage}", list(image_filter), expanded,
+                             fractional_bits=fractional_bits,
+                             rounding=rounding)
+    builder.output("y", signal)
+    return builder.build()
+
+
+def build_fft_butterfly(stages: int = 3, bin_index: int = 1,
+                        fractional_bits: int = 12,
+                        rounding: RoundingMode | str = RoundingMode.ROUND,
+                        name: str | None = None) -> SignalFlowGraph:
+    """The radix-2 DIT butterfly network of one DFT bin, along the stream.
+
+    A radix-2 decimation-in-time FFT computes bin ``k`` of an
+    ``N = 2**stages``-point transform by recursively splitting the stream
+    into even / odd sample phases and combining them with twiddle-weighted
+    ± butterflies.  This builder instantiates that butterfly path as a
+    multirate signal-flow graph: per stage one even-phase and one
+    odd-phase decimator, a real twiddle gain on the odd phase — the
+    dominant component of ``W = exp(-2j pi k / 2**(stage+1))``, i.e. the
+    path into the bin's real or imaginary accumulator, whichever carries
+    the larger weight — and a quantized ± adder (the sign is the
+    corresponding bit of ``bin_index``).  The
+    result is the classical fixed-point FFT noise structure — one
+    quantization source per butterfly, decimated and recombined stage by
+    stage — with every block real-valued.
+
+    Parameters
+    ----------
+    stages:
+        Number of butterfly stages (transform size ``2**stages``).
+    bin_index:
+        DFT bin whose butterfly path is built
+        (``0 <= bin_index < 2**stages``); its bits choose the ± signs and
+        the twiddle angles.
+    """
+    if stages < 1:
+        raise ValueError(f"need at least one stage, got {stages}")
+    size = 2 ** stages
+    if not 0 <= bin_index < size:
+        raise ValueError(
+            f"bin_index must be in [0, {size}), got {bin_index}")
+    builder = SfgBuilder(name or f"fft-butterfly-{size}pt-bin{bin_index}")
+    signal = builder.input("x", fractional_bits=fractional_bits,
+                           rounding=rounding)
+    for stage in range(stages):
+        even = builder.downsample(f"even{stage}", signal, 2, phase=0)
+        odd = builder.downsample(f"odd{stage}", signal, 2, phase=1)
+        angle = 2.0 * np.pi * (bin_index % (2 ** (stage + 1))) / (2 ** (stage + 1))
+        cos_part, sin_part = float(np.cos(angle)), float(np.sin(angle))
+        twiddle = cos_part if abs(cos_part) >= abs(sin_part) else sin_part
+        twiddled = builder.gain(f"w{stage}", twiddle, odd,
+                                fractional_bits=fractional_bits,
+                                rounding=rounding)
+        sign = -1.0 if (bin_index >> stage) & 1 else 1.0
+        signal = builder.add(f"bfly{stage}", [even, twiddled],
+                             signs=[1.0, sign],
+                             fractional_bits=fractional_bits,
+                             rounding=rounding)
+    builder.output("y", signal)
+    return builder.build()
+
+
+def build_dwt97_bank(fractional_bits: int = 11,
+                     rounding: RoundingMode | str = RoundingMode.ROUND,
+                     name: str = "dwt97-bank") -> SignalFlowGraph:
+    """One-level Daubechies 9/7 analysis + synthesis bank (multirate).
+
+    Analysis low/high filters, decimation by 2, expansion by 2 and the
+    synthesis pair, merged into the reconstructed output — the paper's
+    DWT benchmark reduced to its filter-bank core, with every filter and
+    the merge adder quantized to ``fractional_bits``.
+    """
+    filters = daubechies_9_7_filters()
+    builder = SfgBuilder(name)
+    x = builder.input("x", fractional_bits=fractional_bits,
+                      rounding=rounding)
+    low = builder.fir("h0", filters.analysis_lowpass, x,
+                      fractional_bits=fractional_bits, rounding=rounding)
+    high = builder.fir("h1", filters.analysis_highpass, x,
+                       fractional_bits=fractional_bits, rounding=rounding)
+    low_d = builder.downsample("low_down", low, 2)
+    high_d = builder.downsample("high_down", high, 2)
+    low_u = builder.upsample("low_up", low_d, 2)
+    high_u = builder.upsample("high_up", high_d, 2)
+    low_s = builder.fir("g0", filters.synthesis_lowpass, low_u,
+                        fractional_bits=fractional_bits, rounding=rounding)
+    high_s = builder.fir("g1", filters.synthesis_highpass, high_u,
+                         fractional_bits=fractional_bits, rounding=rounding)
+    merged = builder.add("merge", [low_s, high_s],
+                         fractional_bits=fractional_bits, rounding=rounding)
+    builder.output("y", merged)
+    return builder.build()

@@ -128,13 +128,29 @@ class ParetoFront:
 
 
 def budget_range(loosest: float, tightest: float, count: int) -> np.ndarray:
-    """Geometrically spaced noise budgets from ``loosest`` to ``tightest``."""
+    """Geometrically spaced noise budgets from ``loosest`` to ``tightest``.
+
+    Always returns a well-formed, loosest-first (descending) sequence:
+
+    * ``count == 0`` yields an empty range (and :func:`sweep_noise_budgets`
+      then returns an empty front rather than failing);
+    * ``count == 1`` yields the single loosest budget;
+    * swapped endpoints (``loosest < tightest``) are reordered — a budget
+      of ``1e-8`` is *tighter* than ``1e-4`` no matter the argument
+      order;
+    * equal endpoints collapse to ``count`` copies of the same budget.
+    """
     if loosest <= 0 or tightest <= 0:
         raise ValueError("noise budgets must be positive")
-    if count < 1:
-        raise ValueError(f"need at least one budget, got {count}")
+    if count < 0:
+        raise ValueError(f"budget count must be non-negative, got {count}")
+    if count == 0:
+        return np.empty(0)
+    loosest, tightest = float(loosest), float(tightest)
+    if loosest < tightest:
+        loosest, tightest = tightest, loosest
     if count == 1:
-        return np.array([float(loosest)])
+        return np.array([loosest])
     return np.geomspace(loosest, tightest, count)
 
 
@@ -154,7 +170,9 @@ def sweep_noise_budgets(system: SignalFlowGraph, budgets,
     budgets:
         Noise-power budgets to sweep (see :func:`budget_range`).  Budgets
         that cannot be met even at ``max_bits`` are skipped (recorded
-        nowhere — the front only holds feasible points).
+        nowhere — the front only holds feasible points).  An empty budget
+        sequence yields a well-formed empty front; duplicate budgets are
+        collapsed.
     method, n_psd, min_bits, max_bits, batch:
         Forwarded to :class:`WordLengthOptimizer`; one optimizer (hence
         one compiled plan and one response cache) serves every budget.
@@ -169,9 +187,11 @@ def sweep_noise_budgets(system: SignalFlowGraph, budgets,
     ParetoFront
         One point per feasible budget, sorted loosest first.
     """
-    budgets = sorted((float(b) for b in budgets), reverse=True)
+    budgets = sorted({float(b) for b in budgets}, reverse=True)
     if not budgets:
-        raise ValueError("no noise budgets to sweep")
+        # An empty sweep (e.g. budget_range(..., 0)) is a well-formed,
+        # empty front — not an error.
+        return ParetoFront(system=system.name, method=method)
     if budgets[-1] <= 0:
         raise ValueError("noise budgets must be positive")
     optimizer = WordLengthOptimizer(system, method=method, n_psd=n_psd,

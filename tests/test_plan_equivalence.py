@@ -7,9 +7,10 @@ its memoized frequency responses and index-based schedule) must produce
 library used before (validate, re-derive the topological order, resolve
 predecessors by name, call every node's propagation rule directly).
 
-The legacy traversals are re-implemented here, in the test, as the
-reference semantics; they are exercised on the paper's Table-I filter-bank
-systems and on a DWT-style multirate filter-bank graph.
+The legacy traversals live in :mod:`legacy_reference` (shared with the
+campaign scenario-family tests); here they are exercised on the paper's
+Table-I filter-bank systems and on a DWT-style multirate filter-bank
+graph.
 """
 
 import numpy as np
@@ -18,13 +19,8 @@ import pytest
 from repro.analysis.agnostic_method import evaluate_agnostic
 from repro.analysis.flat_method import evaluate_flat
 from repro.analysis.psd_method import evaluate_psd, evaluate_psd_tracked
-from repro.fixedpoint.noise_model import NoiseStats
-from repro.psd.spectrum import DiscretePsd
-from repro.psd.propagation import TrackedSpectrum
-from repro.sfg.builder import SfgBuilder
 from repro.sfg.executor import SfgExecutor
-from repro.sfg.nodes import IirNode, InputNode
-from repro.systems.dwt.daubechies97 import daubechies_9_7_filters
+from repro.systems.families import build_dwt97_bank
 from repro.systems.filter_bank import (
     build_filter_graph,
     generate_fir_bank,
@@ -33,146 +29,16 @@ from repro.systems.filter_bank import (
 
 
 # ----------------------------------------------------------------------
-# Legacy reference implementations (pre-plan semantics)
+# Legacy reference implementations (shared with the campaign scenario
+# tests; see tests/legacy_reference.py)
 # ----------------------------------------------------------------------
-def _legacy_walk(graph, zero, propagate, inject):
-    graph.validate()
-    order = graph.topological_order()
-    results = {}
-    for name in order:
-        node = graph.node(name)
-        if isinstance(node, InputNode) or node.num_inputs == 0:
-            representation = zero(node)
-        else:
-            inputs = [results[edge.source]
-                      for edge in graph.predecessors(name)]
-            representation = propagate(node, inputs)
-        own = node.generated_noise()
-        if own.variance > 0.0 or own.mean != 0.0:
-            representation = inject(node, own, representation)
-        results[name] = representation
-    return results
-
-
-def _legacy_psd(graph, n_psd):
-    def inject(node, stats, acc):
-        psd = DiscretePsd.white(stats, acc.n_bins)
-        if isinstance(node, IirNode):
-            psd = psd.filtered(
-                node.noise_shaping_function().frequency_response(acc.n_bins))
-        return acc + psd
-
-    results = _legacy_walk(
-        graph,
-        zero=lambda node: DiscretePsd.zero(n_psd),
-        propagate=lambda node, inputs: node.propagate_psd(inputs, n_psd),
-        inject=inject)
-    return results[graph.output_names()[0]]
-
-
-def _legacy_agnostic(graph):
-    def inject(node, stats, acc):
-        if isinstance(node, IirNode):
-            shaping = node.noise_shaping_function()
-            stats = NoiseStats(mean=stats.mean * shaping.coefficient_sum(),
-                               variance=stats.variance * shaping.energy())
-        return acc + stats
-
-    results = _legacy_walk(
-        graph,
-        zero=lambda node: NoiseStats(0.0, 0.0),
-        propagate=lambda node, inputs: node.propagate_stats(inputs),
-        inject=inject)
-    return results[graph.output_names()[0]]
-
-
-def _legacy_tracked(graph, n_psd):
-    def inject(node, stats, acc):
-        tracked = TrackedSpectrum.from_source(node.name, stats, n_psd)
-        if isinstance(node, IirNode):
-            tracked = tracked.filtered(
-                node.noise_shaping_function().frequency_response(n_psd))
-        return acc + tracked
-
-    results = _legacy_walk(
-        graph,
-        zero=lambda node: TrackedSpectrum.zero(n_psd),
-        propagate=lambda node, inputs: node.propagate_tracked(inputs, n_psd),
-        inject=inject)
-    return results[graph.output_names()[0]].to_psd()
-
-
-def _legacy_flat(graph):
-    from repro.lti.transfer_function import TransferFunction
-    from repro.sfg.nodes import AddNode, OutputNode, _LtiMixin
-
-    graph.validate()
-    paths = {}
-    for name in graph.topological_order():
-        node = graph.node(name)
-        if isinstance(node, InputNode) or node.num_inputs == 0:
-            accumulated = {}
-        else:
-            input_maps = [paths[edge.source]
-                          for edge in graph.predecessors(name)]
-            if isinstance(node, OutputNode):
-                (single,) = input_maps
-                accumulated = dict(single)
-            elif isinstance(node, AddNode):
-                accumulated = {}
-                for sign, source_map in zip(node.signs, input_maps):
-                    for source, tf in source_map.items():
-                        contribution = tf.scaled(sign)
-                        if source in accumulated:
-                            accumulated[source] = \
-                                accumulated[source].parallel(contribution)
-                        else:
-                            accumulated[source] = contribution
-            elif isinstance(node, _LtiMixin):
-                (single,) = input_maps
-                block_tf = node._effective_transfer_function()
-                accumulated = {source: tf.cascade(block_tf)
-                               for source, tf in single.items()}
-            else:
-                raise NotImplementedError(type(node).__name__)
-        own = node.generated_noise()
-        if own.variance > 0.0 or own.mean != 0.0:
-            shaping = (node.noise_shaping_function()
-                       if isinstance(node, IirNode)
-                       else TransferFunction.identity())
-            if name in accumulated:
-                accumulated[name] = accumulated[name].parallel(shaping)
-            else:
-                accumulated[name] = shaping
-        paths[name] = accumulated
-
-    path_functions = paths[graph.output_names()[0]]
-    total_variance = 0.0
-    mean_contributions = []
-    for name, tf in path_functions.items():
-        stats = graph.node(name).generated_noise()
-        total_variance += stats.variance * tf.energy()
-        mean_contributions.append(stats.mean * tf.coefficient_sum())
-    return NoiseStats(mean=float(np.sum(mean_contributions)),
-                      variance=total_variance)
-
-
-def _legacy_run(graph, inputs, mode):
-    graph.validate()
-    signals = {}
-    for name in graph.topological_order():
-        node = graph.node(name)
-        if isinstance(node, InputNode):
-            stimulus = np.asarray(inputs[name], dtype=float)
-            if mode == "fixed" and node.quantization.enabled:
-                stimulus = node.quantization.quantizer().quantize(stimulus)
-            signals[name] = stimulus
-            continue
-        node_inputs = [signals[edge.source]
-                       for edge in graph.predecessors(name)]
-        signals[name] = (node.simulate(node_inputs) if mode == "double"
-                         else node.simulate_fixed(node_inputs))
-    return signals[graph.output_names()[0]]
+from legacy_reference import (
+    legacy_agnostic as _legacy_agnostic,
+    legacy_flat as _legacy_flat,
+    legacy_psd as _legacy_psd,
+    legacy_run as _legacy_run,
+    legacy_tracked as _legacy_tracked,
+)
 
 
 # ----------------------------------------------------------------------
@@ -185,25 +51,9 @@ def _table1_graphs():
 
 
 def _dwt_graph(bits=11):
-    """One-level 9/7 analysis + synthesis bank as a multirate SFG."""
-    filters = daubechies_9_7_filters()
-    builder = SfgBuilder("dwt-bank")
-    x = builder.input("x", fractional_bits=bits)
-    low = builder.fir("h0", filters.analysis_lowpass, x,
-                      fractional_bits=bits)
-    high = builder.fir("h1", filters.analysis_highpass, x,
-                       fractional_bits=bits)
-    low_d = builder.downsample("low_down", low, 2)
-    high_d = builder.downsample("high_down", high, 2)
-    low_u = builder.upsample("low_up", low_d, 2)
-    high_u = builder.upsample("high_up", high_d, 2)
-    low_s = builder.fir("g0", filters.synthesis_lowpass, low_u,
-                        fractional_bits=bits)
-    high_s = builder.fir("g1", filters.synthesis_highpass, high_u,
-                         fractional_bits=bits)
-    merged = builder.add("merge", [low_s, high_s], fractional_bits=bits)
-    builder.output("y", merged)
-    return builder.build()
+    """One-level 9/7 analysis + synthesis bank as a multirate SFG —
+    the exact graph the campaign registry ships (shared builder)."""
+    return build_dwt97_bank(fractional_bits=bits)
 
 
 def _assert_psd_identical(plan_psd, legacy_psd):

@@ -14,6 +14,9 @@ from repro.sfg.builder import SfgBuilder
 from repro.sfg.executor import SfgExecutor
 from repro.sfg.nodes import LtiNode
 from repro.sfg.serialization import (
+    assignment_fingerprint,
+    canonical_graph_dict,
+    graph_fingerprint,
     graph_from_dict,
     graph_to_dict,
     load_graph,
@@ -212,6 +215,60 @@ class TestEveryNodeTypeRoundTrip:
         np.testing.assert_array_equal(
             SfgExecutor(plan).run({"x": x}, mode="fixed").output("y"),
             SfgExecutor(graph).run({"x": x}, mode="fixed").output("y"))
+
+
+class TestFingerprints:
+    def test_fingerprint_survives_round_trip(self):
+        graph = _rich_graph()
+        rebuilt = graph_from_dict(graph_to_dict(graph))
+        assert graph_fingerprint(rebuilt) == graph_fingerprint(graph)
+
+    def test_fingerprint_is_insertion_order_stable(self):
+        # Build the same two-node system wiring-first vs nodes-reversed;
+        # the plain serialized dicts differ (node order follows insertion)
+        # but the canonical form and the fingerprint must not.
+        from repro.sfg.graph import SignalFlowGraph
+        from repro.sfg.nodes import FirNode, InputNode, OutputNode
+
+        def build(order):
+            graph = SignalFlowGraph("fp")
+            nodes = {"x": InputNode("x"),
+                     "h": FirNode("h", [0.5, 0.5]),
+                     "y": OutputNode("y")}
+            for name in order:
+                graph.add_node(nodes[name])
+            graph.connect("x", "h", 0)
+            graph.connect("h", "y", 0)
+            return graph
+
+        forward, backward = build("xhy"), build("yhx")
+        assert graph_to_dict(forward)["nodes"] \
+            != graph_to_dict(backward)["nodes"]
+        assert canonical_graph_dict(forward) == canonical_graph_dict(backward)
+        assert graph_fingerprint(forward) == graph_fingerprint(backward)
+
+    def test_fingerprint_tracks_content(self):
+        base = _rich_graph()
+        changed = graph_from_dict(graph_to_dict(base))
+        changed.node("gain").gain = 0.5
+        assert graph_fingerprint(changed) != graph_fingerprint(base)
+        requantized = graph_from_dict(graph_to_dict(base))
+        node = requantized.node("fir")
+        node.quantization = node.quantization.with_fractional_bits(7)
+        assert graph_fingerprint(requantized) != graph_fingerprint(base)
+
+    def test_fingerprint_is_version_tagged_hex(self):
+        digest = graph_fingerprint(_rich_graph())
+        assert len(digest) == 64
+        int(digest, 16)  # pure hex
+
+    def test_assignment_fingerprint_order_stable(self):
+        assert assignment_fingerprint({"a": 4, "b": 8}) \
+            == assignment_fingerprint({"b": 8, "a": 4})
+        assert assignment_fingerprint({"a": 4}) \
+            != assignment_fingerprint({"a": 5})
+        assert assignment_fingerprint({"a": None}) \
+            != assignment_fingerprint({"a": 0})
 
 
 class TestValidation:

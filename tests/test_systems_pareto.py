@@ -38,7 +38,26 @@ class TestBudgetRange:
         with pytest.raises(ValueError):
             budget_range(0.0, 1e-8, 3)
         with pytest.raises(ValueError):
-            budget_range(1e-4, 1e-8, 0)
+            budget_range(1e-4, 0.0, 3)
+        with pytest.raises(ValueError):
+            budget_range(1e-4, 1e-8, -1)
+
+    def test_zero_count_is_an_empty_range(self):
+        # Regression: a zero-point request used to raise; it must produce
+        # a well-formed empty range (and an empty front downstream).
+        budgets = budget_range(1e-4, 1e-8, 0)
+        assert budgets.shape == (0,)
+
+    def test_inverted_endpoints_are_reordered(self):
+        # Regression: swapped endpoints must still yield a loosest-first
+        # descending range, not an ascending one.
+        np.testing.assert_allclose(budget_range(1e-8, 1e-4, 5),
+                                   budget_range(1e-4, 1e-8, 5), rtol=1e-12)
+        np.testing.assert_allclose(budget_range(1e-9, 1e-5, 1), [1e-5])
+
+    def test_equal_endpoints_collapse(self):
+        np.testing.assert_allclose(budget_range(1e-6, 1e-6, 3),
+                                   [1e-6, 1e-6, 1e-6])
 
 
 class TestSweep:
@@ -92,9 +111,28 @@ class TestSweep:
             # The estimate must sit well inside the sub-one-bit band.
             assert -3.0 < point.ed < 0.75
 
-    def test_empty_budget_list_rejected(self):
-        with pytest.raises(ValueError):
-            sweep_noise_budgets(_graph(), [])
+    def test_empty_sweep_yields_empty_front(self):
+        # Regression: an empty budget list (e.g. budget_range(..., 0))
+        # used to raise; it must yield a well-formed empty front whose
+        # accessors all behave.
+        front = sweep_noise_budgets(_graph(), budget_range(1e-5, 1e-8, 0))
+        assert front.points == []
+        assert front.pareto_points() == []
+        assert front.total_evaluations == 0
+        assert "0 budgets" in front.describe()
+
+    def test_single_point_sweep_is_well_formed(self):
+        front = sweep_noise_budgets(_graph(), budget_range(1e-6, 1e-6, 1),
+                                    n_psd=64)
+        assert len(front.points) == 1
+        assert front.pareto_points() == front.points
+        assert front.points[0].noise_power <= 1e-6
+
+    def test_duplicate_budgets_collapse(self):
+        front = sweep_noise_budgets(_graph(), [1e-6, 1e-6, 1e-6], n_psd=64)
+        assert len(front.points) == 1
+
+    def test_negative_budgets_rejected(self):
         with pytest.raises(ValueError):
             sweep_noise_budgets(_graph(), [1e-6, -1.0])
 
