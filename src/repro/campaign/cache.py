@@ -4,20 +4,25 @@ Each record is one JSON file named by its job key (two-level fan-out,
 ``<root>/<key[:2]>/<key>.json``), written atomically (temp file +
 ``os.replace``) so a killed campaign never leaves a half-written record.
 Reads are defensive: an unreadable, undecodable or mis-keyed file is
-treated as a miss, counted, and removed so the slot heals on the next
-write.  This is what makes campaigns resumable — a re-run simply finds
-most of its jobs already on disk.
+treated as a miss, counted, removed so the slot heals on the next write,
+and logged (with the offending path) so corruption discovered by fuzz or
+campaign runs is diagnosable instead of silently recomputed.  This is
+what makes campaigns resumable — a re-run simply finds most of its jobs
+already on disk.
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import os
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 
 CACHE_SCHEMA_VERSION = 1
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -74,7 +79,8 @@ class ResultCache:
 
         Corrupt records — unparsable JSON, a non-dict payload, a record
         whose embedded key does not match its filename, or an unreadable
-        file — are deleted and counted as misses.
+        file — are deleted, counted as misses and reported through a
+        ``logging`` warning naming the offending path.
         """
         if self.root is None:
             self.stats.misses += 1
@@ -87,9 +93,12 @@ class ResultCache:
         except FileNotFoundError:
             self.stats.misses += 1
             return None
-        except (OSError, ValueError):
+        except (OSError, ValueError) as error:
             self.stats.misses += 1
             self.stats.corrupt += 1
+            logger.warning(
+                "discarding corrupt campaign cache record %s (%s); the "
+                "slot heals on the next write", path, error)
             try:
                 path.unlink()
             except OSError:

@@ -17,8 +17,7 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro.data.signals import SignalGenerator
-from repro.sfg.graph import SignalFlowGraph
-from repro.sfg.nodes import DownsampleNode, UpsampleNode
+from repro.sfg.graph import SignalFlowGraph, is_multirate  # noqa: F401
 from repro.sfg.serialization import (
     assignment_fingerprint,
     canonical_digest,
@@ -198,12 +197,6 @@ def job_key(graph: SignalFlowGraph, assignment: dict, method: str,
     return _job_key_from_fingerprints(
         graph_fingerprint(graph), assignment_fingerprint(assignment),
         method, n_psd, stimulus, seed)
-
-
-def is_multirate(graph: SignalFlowGraph) -> bool:
-    """Whether the graph contains decimators or expanders."""
-    return any(isinstance(node, (DownsampleNode, UpsampleNode))
-               for node in graph.nodes.values())
 
 
 def quantized_node_names(graph: SignalFlowGraph) -> tuple:

@@ -42,6 +42,7 @@ from repro.systems.families import (
     build_polyphase_decimator,
 )
 from repro.systems.filter_bank import build_filter_graph, generate_iir_bank
+from repro.systems.random_graphs import build_random_graph
 
 
 def scenario_signature(name: str, params: dict) -> str:
@@ -245,6 +246,21 @@ def _scenario_table1_iir(params):
                                RoundingMode.ROUND)
     return graph, StimulusSpec(num_samples=20_000,
                                discard_transient=4 * entry.order + 64), \
+        (1e-4, 1e-6, 1e-8)
+
+
+@register_scenario(
+    "random",
+    description="seeded random signal-flow graph (the fuzzing generator; "
+                "seed selects the topology)",
+    seed=0, blocks=8, multirate=1)
+def _scenario_random(params):
+    # Factor-2 segments only: campaign n_psd values are powers of two and
+    # the PSD folding requires divisibility by every decimation factor.
+    graph = build_random_graph(
+        int(params["seed"]), blocks=int(params["blocks"]),
+        multirate=bool(int(params["multirate"])), factors=(2,))
+    return graph, StimulusSpec(num_samples=18_000, discard_transient=384), \
         (1e-4, 1e-6, 1e-8)
 
 

@@ -39,7 +39,7 @@ from repro.sfg.nodes import (
     QuantizationSpec,
     UpsampleNode,
 )
-from repro.sfg.graph import Edge, SignalFlowGraph
+from repro.sfg.graph import Edge, SignalFlowGraph, is_multirate
 from repro.sfg.cycles import break_feedback_loops, find_cycles
 from repro.sfg.plan import CompiledPlan, PlanStep, compile_plan
 from repro.sfg.executor import ExecutionResult, SfgExecutor
@@ -76,6 +76,7 @@ __all__ = [
     "QuantizationSpec",
     "Edge",
     "SignalFlowGraph",
+    "is_multirate",
     "find_cycles",
     "break_feedback_loops",
     "CompiledPlan",

@@ -13,7 +13,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.sfg.nodes import InputNode, Node, OutputNode
+from repro.sfg.nodes import (
+    DownsampleNode,
+    InputNode,
+    Node,
+    OutputNode,
+    UpsampleNode,
+)
 
 
 @dataclass(frozen=True)
@@ -202,3 +208,15 @@ class SignalFlowGraph:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"SignalFlowGraph({self.name!r}, nodes={len(self._nodes)}, "
                 f"edges={len(self._edges)})")
+
+
+def is_multirate(graph: SignalFlowGraph) -> bool:
+    """Whether the graph contains decimators or expanders.
+
+    Multirate graphs restrict the applicable evaluation engines: the flat
+    and tracked methods are only defined at a single rate (the campaign
+    layer skips those grid points, the verification harness skips those
+    checks).
+    """
+    return any(isinstance(node, (DownsampleNode, UpsampleNode))
+               for node in graph.nodes.values())

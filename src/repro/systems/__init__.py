@@ -17,6 +17,9 @@
   beyond the paper's benchmarks (cascaded-SOS banks, polyphase
   decimators, interpolator chains, FFT butterfly networks), the raw
   material of the campaign scenario registry (:mod:`repro.campaign`).
+* :mod:`~repro.systems.random_graphs` — the seeded random-SFG generator
+  behind the differential fuzzing harness (:mod:`repro.verify`) and the
+  ``random`` campaign scenario.
 """
 
 from repro.systems.filter_bank import (
@@ -40,6 +43,7 @@ from repro.systems.families import (
     build_interpolator_chain,
     build_polyphase_decimator,
 )
+from repro.systems.random_graphs import build_random_graph, random_assignments
 from repro.systems.wordlength import WordLengthOptimizer, WordLengthResult
 from repro.systems.pareto import (
     ParetoFront,
@@ -65,6 +69,8 @@ __all__ = [
     "build_fft_butterfly",
     "build_interpolator_chain",
     "build_polyphase_decimator",
+    "build_random_graph",
+    "random_assignments",
     "WordLengthOptimizer",
     "WordLengthResult",
     "ParetoFront",

@@ -1,0 +1,303 @@
+"""Cross-engine differential verification of one signal-flow graph.
+
+One graph, four independent consistency obligations — exactly the
+contracts the fixture suites pin on the hand-built systems, generalized
+so they can be asserted on *any* graph (in particular the seeded random
+graphs of :mod:`repro.systems.random_graphs`):
+
+1. **round_trip** — JSON serialization is loss-free: serialize → parse →
+   rebuild preserves the canonical fingerprint;
+2. **plan_vs_legacy** — every evaluation engine running through the
+   compiled plan is *bitwise identical* to the naive per-call traversal
+   (:mod:`repro.verify.legacy`): the PSD and moments walks, the flat and
+   tracked engines (single-rate graphs) and both simulation modes;
+3. **batch_vs_sequential** — the configuration-batched evaluation paths
+   equal the sequential requantize-and-evaluate loop, row for row, bit
+   for bit (analytical engines and the Monte-Carlo reference);
+4. **ed_band** — the proposed PSD estimate tracks the Monte-Carlo
+   measurement within the paper's sub-one-bit ``Ed`` band
+   ``(-300 %, +75 %)``.
+
+Every check is exception-safe: an engine that crashes on a generated
+graph is reported as that check's failure (with the exception text), not
+as a crash of the harness — a fuzzer must keep running past the first
+broken graph.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.agnostic_method import (
+    evaluate_agnostic,
+    evaluate_agnostic_batch,
+)
+from repro.analysis.evaluator import AccuracyEvaluator
+from repro.analysis.flat_method import evaluate_flat, evaluate_flat_batch
+from repro.analysis.metrics import is_sub_one_bit
+from repro.analysis.psd_method import (
+    evaluate_psd,
+    evaluate_psd_batch,
+    evaluate_psd_tracked,
+)
+from repro.analysis.simulation_method import SimulationEvaluator
+from repro.data.signals import uniform_white_noise
+from repro.sfg.executor import SfgExecutor
+from repro.sfg.graph import SignalFlowGraph, is_multirate
+from repro.sfg.plan import compile_plan
+from repro.sfg.serialization import graph_fingerprint, graph_from_dict, graph_to_dict
+from repro.systems.random_graphs import COMPATIBLE_N_PSD, random_assignments
+from repro.verify.legacy import (
+    legacy_agnostic,
+    legacy_flat,
+    legacy_psd,
+    legacy_run,
+    legacy_tracked,
+)
+
+#: The four differential obligations, in the order they are run.
+CHECK_NAMES = ("round_trip", "plan_vs_legacy", "batch_vs_sequential",
+               "ed_band")
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one differential check on one graph."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+
+    def describe(self) -> str:
+        status = "pass" if self.passed else "FAIL"
+        tail = f" — {self.detail}" if self.detail else ""
+        return f"{status} {self.name}{tail}"
+
+
+@dataclass
+class GraphVerdict:
+    """All check outcomes for one graph."""
+
+    graph_name: str
+    checks: list = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """Whether every check passed."""
+        return all(check.passed for check in self.checks)
+
+    @property
+    def failures(self) -> list:
+        """The failed checks only."""
+        return [check for check in self.checks if not check.passed]
+
+    def describe(self) -> str:
+        """Deterministic multi-line summary (one line per check)."""
+        lines = [f"{self.graph_name}: "
+                 f"{'OK' if self.passed else 'FAILED'}"]
+        lines.extend("  " + check.describe() for check in self.checks)
+        return "\n".join(lines)
+
+
+class _CheckFailure(AssertionError):
+    """Raised inside a check body to fail it with a readable detail."""
+
+
+def _require(condition: bool, detail: str) -> None:
+    if not condition:
+        raise _CheckFailure(detail)
+
+
+def _stimulus(graph: SignalFlowGraph, samples: int, seed: int) -> dict:
+    """Deterministic white stimulus, one independent stream per input."""
+    return {name: uniform_white_noise(samples, 0.9, seed * 1_000_003 + index)
+            for index, name in enumerate(sorted(graph.input_names()))}
+
+
+# ----------------------------------------------------------------------
+# The four checks
+# ----------------------------------------------------------------------
+def _check_round_trip(graph, plan, **options):
+    data = graph_to_dict(graph)
+    rebuilt = graph_from_dict(json.loads(json.dumps(data)))
+    _require(graph_fingerprint(rebuilt) == graph_fingerprint(graph),
+             "canonical fingerprint changed across serialize/parse/rebuild")
+    _require(sorted(rebuilt.nodes) == sorted(graph.nodes),
+             "node set changed across the round trip")
+    _require(len(rebuilt.edges) == len(graph.edges),
+             "edge count changed across the round trip")
+    return "fingerprint stable"
+
+
+def _check_plan_vs_legacy(graph, plan, *, samples, seed, n_psd, **options):
+    via_plan = evaluate_psd(plan, n_psd)
+    reference = legacy_psd(graph, n_psd)
+    _require(np.array_equal(via_plan.ac, reference.ac)
+             and via_plan.mean == reference.mean,
+             "psd walk differs from the legacy traversal")
+
+    stats = evaluate_agnostic(plan)
+    reference = legacy_agnostic(graph)
+    _require(stats.mean == reference.mean
+             and stats.variance == reference.variance,
+             "agnostic walk differs from the legacy traversal")
+
+    if not is_multirate(graph):
+        flat = evaluate_flat(plan)
+        reference = legacy_flat(graph)
+        _require(flat.mean == reference.mean
+                 and flat.variance == reference.variance,
+                 "flat engine differs from the legacy path composition")
+        tracked = evaluate_psd_tracked(plan, n_psd)
+        reference = legacy_tracked(graph, n_psd)
+        _require(np.array_equal(tracked.ac, reference.ac)
+                 and tracked.mean == reference.mean,
+                 "tracked engine differs from the legacy traversal")
+
+    stimulus = _stimulus(graph, samples, seed)
+    executor = SfgExecutor(plan)
+    for mode in ("double", "fixed"):
+        via_plan = executor.run(stimulus, mode=mode).output(None)
+        reference = legacy_run(graph, stimulus, mode)
+        _require(np.array_equal(via_plan, reference),
+                 f"{mode}-precision simulation differs from the legacy "
+                 "traversal")
+    return "all engines bitwise identical to the legacy traversals"
+
+
+def _check_batch_vs_sequential(graph, plan, *, samples, seed, n_psd,
+                               batch_configs, **options):
+    assignments = random_assignments(graph, seed + 1, batch_configs)
+    stimulus = _stimulus(graph, samples, seed)
+    single_rate = not is_multirate(graph)
+
+    psd_stack = evaluate_psd_batch(plan, n_psd, assignments)
+    agnostic_stack = evaluate_agnostic_batch(plan, assignments)
+    flat_stack = evaluate_flat_batch(plan, assignments) if single_rate \
+        else None
+    simulation = SimulationEvaluator(plan).evaluate_batch(assignments,
+                                                          stimulus)
+    with plan.preserve_quantization():
+        for index, assignment in enumerate(assignments):
+            plan.requantize(assignment)
+            scalar = evaluate_psd(plan, n_psd)
+            _require(np.array_equal(psd_stack.ac[index], scalar.ac)
+                     and psd_stack.mean[index] == scalar.mean,
+                     f"psd batch row {index} differs from the sequential "
+                     "evaluation")
+            scalar = evaluate_agnostic(plan)
+            _require(agnostic_stack.mean[index] == scalar.mean
+                     and agnostic_stack.variance[index] == scalar.variance,
+                     f"agnostic batch row {index} differs from the "
+                     "sequential evaluation")
+            if flat_stack is not None:
+                scalar = evaluate_flat(plan)
+                _require(flat_stack.mean[index] == scalar.mean
+                         and flat_stack.variance[index] == scalar.variance,
+                         f"flat batch row {index} differs from the "
+                         "sequential evaluation")
+            measured = SimulationEvaluator(plan).evaluate(stimulus)
+            _require(simulation[index].error_power == measured.error_power
+                     and simulation[index].error_mean == measured.error_mean
+                     and simulation[index].num_samples
+                     == measured.num_samples,
+                     f"simulation batch row {index} differs from the "
+                     "sequential evaluation")
+    return f"{len(assignments)} configs bit-identical across all engines"
+
+
+def _check_ed_band(graph, plan, *, seed, n_psd, ed_samples,
+                   discard_transient, **options):
+    # AccuracyEvaluator reuses the plan already attached to the graph
+    # (compile_plan memoizes per graph object), so this does not
+    # recompile anything.
+    evaluator = AccuracyEvaluator(graph, n_psd=n_psd)
+    stimulus = _stimulus(graph, ed_samples, seed + 2)
+    comparison = evaluator.compare(stimulus, methods=("psd",),
+                                   discard_transient=discard_transient)
+    _require(comparison.simulation.error_power > 0.0,
+             "simulation measured zero error power (no noise source "
+             "reaches the output)")
+    report = comparison.reports["psd"]
+    _require(is_sub_one_bit(report.ed),
+             f"Ed = {100.0 * report.ed:.1f}% outside the (-300%, +75%) "
+             "sub-one-bit band")
+    return f"Ed = {100.0 * report.ed:.1f}%"
+
+
+_CHECKS = {
+    "round_trip": _check_round_trip,
+    "plan_vs_legacy": _check_plan_vs_legacy,
+    "batch_vs_sequential": _check_batch_vs_sequential,
+    "ed_band": _check_ed_band,
+}
+
+
+def verify_graph(graph: SignalFlowGraph, seed: int = 0,
+                 n_psd: int = COMPATIBLE_N_PSD,
+                 samples: int = 2304, ed_samples: int = 9216,
+                 discard_transient: int = 384, batch_configs: int = 3,
+                 checks=CHECK_NAMES) -> GraphVerdict:
+    """Run the differential checks on one graph.
+
+    Parameters
+    ----------
+    graph:
+        The system under verification (any acyclic SFG).
+    seed:
+        Base seed of every stimulus and assignment stack drawn by the
+        checks; the verdict is deterministic in ``(graph, seed)``.
+    n_psd:
+        PSD bin count of the PSD-based engines.  For multirate graphs it
+        must be divisible by every decimation factor
+        (:data:`repro.systems.random_graphs.COMPATIBLE_N_PSD` always is).
+    samples:
+        Stimulus length of the bitwise simulation checks.
+    ed_samples:
+        Stimulus length of the Monte-Carlo run backing the Ed check
+        (longer than ``samples`` — the band assertion needs a converged
+        power measurement, the bitwise checks do not).
+    discard_transient:
+        Leading output samples dropped before the Ed measurement.
+    batch_configs:
+        Size of the random word-length stack of the batch check.
+    checks:
+        Subset of :data:`CHECK_NAMES` to run, in order.
+
+    Returns
+    -------
+    GraphVerdict
+        One :class:`CheckResult` per requested check; an engine crash is
+        folded into that check's failure detail.
+    """
+    unknown = sorted(set(checks) - set(CHECK_NAMES))
+    if unknown:
+        raise ValueError(f"unknown check(s) {unknown}; expected a subset "
+                         f"of {CHECK_NAMES}")
+    verdict = GraphVerdict(graph_name=graph.name)
+    try:
+        plan = compile_plan(graph)
+    except Exception as error:  # noqa: BLE001 - fuzzing must not stop
+        # Nothing downstream can run without a plan; fail every requested
+        # check with the compilation error so the fuzz run keeps going.
+        verdict.checks.extend(CheckResult(
+            name, False,
+            f"plan compilation failed — {type(error).__name__}: {error}")
+            for name in checks)
+        return verdict
+    options = dict(samples=samples, seed=seed, n_psd=n_psd,
+                   batch_configs=batch_configs, ed_samples=ed_samples,
+                   discard_transient=discard_transient)
+    for name in checks:
+        try:
+            detail = _CHECKS[name](graph, plan, **options)
+            verdict.checks.append(CheckResult(name, True, detail))
+        except _CheckFailure as failure:
+            verdict.checks.append(CheckResult(name, False, str(failure)))
+        except Exception as error:  # noqa: BLE001 - fuzzing must not stop
+            verdict.checks.append(CheckResult(
+                name, False, f"{type(error).__name__}: {error}"))
+    return verdict

@@ -1,0 +1,242 @@
+"""Seeded differential fuzzing: generate graphs, verify, shrink failures.
+
+The driver behind the ``fuzz`` CLI subcommand: for every seed it builds a
+random graph (:func:`repro.systems.random_graphs.build_random_graph`),
+runs the four differential checks
+(:func:`repro.verify.differential.verify_graph`) and, when a graph fails,
+
+* **shrinks** the failure — regenerates the same seed at every smaller
+  ``blocks`` budget (trying the single-rate variant first) and keeps the
+  simplest configuration that still fails, and
+* **dumps a regression artifact** — the serialized minimal graph plus a
+  text verdict containing the exact one-line CLI command that reproduces
+  the failure from nothing but the printed seed.
+
+All of it is deterministic: the same seed range produces the same graphs,
+verdicts, shrink results and artifacts, byte for byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.sfg.serialization import save_graph
+from repro.systems.random_graphs import build_random_graph
+from repro.verify.differential import (
+    CHECK_NAMES,
+    CheckResult,
+    GraphVerdict,
+    verify_graph,
+)
+
+
+#: Harness options that change what a verification observes, and the CLI
+#: flags carrying them — the reproduction command must repeat them.
+_OPTION_FLAGS = (("n_psd", "--n-psd"), ("samples", "--samples"),
+                 ("ed_samples", "--ed-samples"),
+                 ("batch_configs", "--batch-configs"))
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One generator configuration (everything needed to rebuild it)."""
+
+    seed: int
+    blocks: int = 8
+    multirate: bool = True
+
+    def build(self):
+        """Regenerate the graph of this case."""
+        return build_random_graph(self.seed, blocks=self.blocks,
+                                  multirate=self.multirate)
+
+    def command(self, options: dict | None = None) -> str:
+        """The CLI line reproducing this exact case.
+
+        ``options`` are the harness settings of the run that found the
+        failure (``n_psd``, ``samples``, ...); they are repeated on the
+        command line because a failure may depend on them.
+        """
+        parts = [f"python -m repro.cli fuzz --seed {self.seed} --count 1",
+                 f"--blocks {self.blocks}"]
+        if not self.multirate:
+            parts.append("--single-rate")
+        for key, flag in _OPTION_FLAGS:
+            if options and key in options:
+                parts.append(f"{flag} {options[key]}")
+        return " ".join(parts)
+
+
+@dataclass
+class FuzzFailure:
+    """A failing seed, its verdict and the shrunk reproduction."""
+
+    case: FuzzCase
+    verdict: GraphVerdict
+    minimal: FuzzCase
+    minimal_verdict: GraphVerdict
+    artifacts: tuple = ()
+    options: dict = field(default_factory=dict)
+
+    def describe(self) -> str:
+        lines = [f"seed {self.case.seed}: FAILED "
+                 f"({', '.join(c.name for c in self.verdict.failures)})",
+                 f"  minimal reproduction: blocks={self.minimal.blocks} "
+                 f"multirate={self.minimal.multirate}",
+                 f"  reproduce with: {self.minimal.command(self.options)}"]
+        lines.extend("  " + check.describe()
+                     for check in self.minimal_verdict.failures)
+        lines.extend(f"  artifact: {path}" for path in self.artifacts)
+        return "\n".join(lines)
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzzing run."""
+
+    cases: int = 0
+    failures: list = field(default_factory=list)
+    checks: tuple = CHECK_NAMES
+
+    @property
+    def passed(self) -> bool:
+        """Whether every fuzzed graph passed every check."""
+        return not self.failures
+
+    def describe(self) -> str:
+        """Deterministic multi-line summary of the run."""
+        lines = [f"fuzzed {self.cases} random graph(s) across "
+                 f"{len(self.checks)} differential check(s): "
+                 f"{'all passed' if self.passed else 'FAILURES'}"]
+        lines.extend(failure.describe() for failure in self.failures)
+        return "\n".join(lines)
+
+
+def _verify_case(case: FuzzCase, verifier, verify_options) -> GraphVerdict:
+    try:
+        graph = case.build()
+    except Exception as error:  # noqa: BLE001 - fuzzing must not stop
+        # A generator crash is itself a reportable (and shrinkable)
+        # failure, not a reason to abort the remaining seeds.
+        verdict = GraphVerdict(graph_name=f"random-sfg-seed{case.seed}")
+        verdict.checks.append(CheckResult(
+            "generate", False,
+            f"graph generation failed — {type(error).__name__}: {error}"))
+        return verdict
+    return verifier(graph, seed=case.seed, **verify_options)
+
+
+def shrink_failure(case: FuzzCase, verifier=verify_graph,
+                   **verify_options) -> FuzzCase:
+    """Simplest generator configuration of ``case.seed`` that still fails.
+
+    Candidates are scanned in increasing complexity — every ``blocks``
+    budget from 0 up, the single-rate variant before the multirate one —
+    and the first failing configuration wins.  The original case is known
+    to fail, so the scan always terminates with a failing case (at worst
+    the original one).
+    """
+    for blocks in range(case.blocks + 1):
+        variants = [False, True] if case.multirate else [False]
+        for multirate in variants:
+            candidate = FuzzCase(case.seed, blocks=blocks,
+                                 multirate=multirate)
+            if candidate == case:
+                return case
+            if not _verify_case(candidate, verifier, verify_options).passed:
+                return candidate
+    return case
+
+
+def dump_artifacts(directory: str | Path, case: FuzzCase,
+                   verdict: GraphVerdict,
+                   options: dict | None = None) -> tuple:
+    """Write the regression artifacts of one (shrunk) failing case.
+
+    ``seed<N>.json`` is the serialized graph — loadable by every CLI
+    subcommand — and ``seed<N>.txt`` the verdict plus the reproducing
+    command line (including the harness ``options`` of the run).
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    graph_path = directory / f"seed{case.seed}.json"
+    save_graph(case.build(), graph_path)
+    text_path = directory / f"seed{case.seed}.txt"
+    text_path.write_text(
+        f"reproduce with: {case.command(options)}\n"
+        f"generator: seed={case.seed} blocks={case.blocks} "
+        f"multirate={case.multirate}\n\n"
+        + verdict.describe() + "\n")
+    return (str(graph_path), str(text_path))
+
+
+def run_fuzz(seeds, blocks: int = 8, multirate: bool = True,
+             artifacts_dir: str | Path | None = None, shrink: bool = True,
+             verifier=verify_graph, **verify_options) -> FuzzReport:
+    """Fuzz a range of seeds; shrink and dump every failure.
+
+    Parameters
+    ----------
+    seeds:
+        Iterable of generator seeds to verify.
+    blocks, multirate:
+        Generator size knobs, forwarded to every case.
+    artifacts_dir:
+        When given, each failure's shrunk graph and verdict are written
+        there as regression artifacts.
+    shrink:
+        Whether to minimize failures before reporting (disable for a
+        faster signal when triaging a long run).
+    verifier:
+        The per-graph verification entry point; injectable so the
+        shrinking and artifact machinery can be tested against synthetic
+        failures.
+    verify_options:
+        Forwarded to ``verifier`` (``n_psd``, ``samples``, ...).
+
+    Returns
+    -------
+    FuzzReport
+        Case count plus one :class:`FuzzFailure` per failing seed.
+    """
+    checks = verify_options.get("checks", CHECK_NAMES)
+    report = FuzzReport(checks=tuple(checks))
+    for seed in seeds:
+        case = FuzzCase(int(seed), blocks=blocks, multirate=multirate)
+        verdict = _verify_case(case, verifier, verify_options)
+        report.cases += 1
+        if verdict.passed:
+            continue
+        if shrink:
+            # Shrinking only needs to reproduce the checks that actually
+            # failed — re-running e.g. the Monte-Carlo Ed check on every
+            # candidate when the failure was a cheap round-trip would
+            # multiply the shrink cost for no information.
+            failing = tuple(check.name for check in verdict.failures)
+            shrink_options = dict(verify_options)
+            if failing and set(failing) <= set(CHECK_NAMES):
+                shrink_options["checks"] = failing
+            minimal = shrink_failure(case, verifier=verifier,
+                                     **shrink_options)
+            # The reported verdict of the minimal case runs the full
+            # check set once (it is also what the artifact records).
+            minimal_verdict = (verdict if minimal == case
+                               else _verify_case(minimal, verifier,
+                                                 verify_options))
+        else:
+            minimal, minimal_verdict = case, verdict
+        artifacts = ()
+        if artifacts_dir is not None:
+            try:
+                artifacts = dump_artifacts(artifacts_dir, minimal,
+                                           minimal_verdict,
+                                           options=verify_options)
+            except Exception as error:  # noqa: BLE001 - keep fuzzing
+                artifacts = (f"<artifact dump failed — "
+                             f"{type(error).__name__}: {error}>",)
+        report.failures.append(FuzzFailure(
+            case=case, verdict=verdict, minimal=minimal,
+            minimal_verdict=minimal_verdict, artifacts=artifacts,
+            options=dict(verify_options)))
+    return report

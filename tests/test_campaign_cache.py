@@ -128,16 +128,29 @@ class TestResultCache:
         assert cache.get("a" * 64) is None
         assert not cache.enabled
 
-    def test_corrupt_record_is_a_miss_and_heals(self, tmp_path):
+    def test_corrupt_record_is_a_miss_and_heals(self, tmp_path, caplog):
         cache = ResultCache(tmp_path / "cache")
         key = "b" * 64
         cache.put(key, {"power": 2.0})
         cache.path_for(key).write_text("{ not json !!!")
-        assert cache.get(key) is None
+        with caplog.at_level("WARNING", logger="repro.campaign.cache"):
+            assert cache.get(key) is None
         assert cache.stats.corrupt == 1
         assert not cache.path_for(key).exists()  # removed, slot heals
+        # The self-healing is diagnosable: one warning naming the path.
+        (record,) = caplog.records
+        assert str(cache.path_for(key)) in record.getMessage()
         cache.put(key, {"power": 3.0})
         assert cache.get(key)["power"] == 3.0
+
+    def test_clean_lookups_do_not_warn(self, tmp_path, caplog):
+        cache = ResultCache(tmp_path / "cache")
+        key = "e" * 64
+        with caplog.at_level("WARNING", logger="repro.campaign.cache"):
+            assert cache.get(key) is None  # plain miss: no record on disk
+            cache.put(key, {"power": 1.0})
+            assert cache.get(key)["power"] == 1.0
+        assert caplog.records == []
 
     def test_mis_keyed_record_is_corrupt(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")

@@ -1,0 +1,190 @@
+"""Smoke coverage of every CLI subcommand, plus seeded determinism.
+
+Each of the seven subcommands runs end to end (in process, against a tmp
+dir) asserting its exit code, and then runs *again* with the same
+``--seed`` asserting byte-identical output.  Wall-clock timings are the
+single intentionally nondeterministic element of the CLI output
+(``evaluation time`` / ``campaign time`` lines and the trailing ``ms``
+table column), so the determinism comparison masks exactly those and
+nothing else.
+"""
+
+import json
+import re
+
+import pytest
+
+from repro.cli import main
+from repro.sfg.serialization import save_graph
+from repro.systems.filter_bank import build_filter_graph, generate_iir_bank
+
+_TIMING_LINE = re.compile(r"^(evaluation time|campaign time):.*$")
+
+
+def _normalize(text: str) -> str:
+    """Mask the wall-clock parts of CLI output, leave everything else.
+
+    The trailing table column is masked only inside a table whose header
+    names it ``ms`` (the campaign report) — data-bearing numeric columns
+    of other tables (e.g. the per-node bits of ``optimize``) stay part of
+    the byte-identical comparison.
+    """
+    lines = []
+    in_ms_table = False
+    for line in text.splitlines():
+        if _TIMING_LINE.match(line):
+            lines.append(_TIMING_LINE.sub(r"\1: <wall clock>", line))
+            continue
+        if "|" in line:
+            cells = [cell.strip() for cell in line.split("|")]
+            if cells[-1] == "ms":  # the header row declaring the column
+                in_ms_table = True
+            elif in_ms_table:
+                line = line.rpartition("|")[0] + "| <ms>"
+        elif "+" not in line:  # not a table separator: the table ended
+            in_ms_table = False
+        lines.append(line)
+    return "\n".join(lines)
+
+
+@pytest.fixture(scope="module")
+def system_path(tmp_path_factory):
+    """A small serialized Table-I IIR system shared by the suite."""
+    path = tmp_path_factory.mktemp("cli") / "system.json"
+    entry = generate_iir_bank(1)[0]
+    save_graph(build_filter_graph(entry, fractional_bits=10), path)
+    return str(path)
+
+
+def _run(capsys, argv):
+    code = main(argv)
+    return code, capsys.readouterr().out
+
+
+def _assert_deterministic(capsys, argv, runs=2):
+    outputs = []
+    for _ in range(runs):
+        code, out = _run(capsys, argv)
+        assert code == 0, out
+        outputs.append(_normalize(out))
+    assert outputs[0] == outputs[1]
+    return outputs[0]
+
+
+class TestSubcommandSmoke:
+    def test_evaluate(self, capsys, system_path):
+        out = _assert_deterministic(
+            capsys, ["evaluate", system_path, "--method", "psd",
+                     "--n-psd", "64", "--seed", "3"])
+        assert "estimated output noise power" in out
+
+    def test_simulate(self, capsys, system_path):
+        out = _assert_deterministic(
+            capsys, ["simulate", system_path, "--samples", "2000",
+                     "--seed", "3"])
+        assert "simulated output noise power" in out
+
+    def test_simulate_seed_changes_the_measurement(self, capsys,
+                                                   system_path):
+        _, first = _run(capsys, ["simulate", system_path, "--samples",
+                                 "2000", "--seed", "3"])
+        _, second = _run(capsys, ["simulate", system_path, "--samples",
+                                  "2000", "--seed", "4"])
+        assert first != second
+
+    def test_compare(self, capsys, system_path):
+        out = _assert_deterministic(
+            capsys, ["compare", system_path, "--methods", "psd", "agnostic",
+                     "--samples", "2000", "--n-psd", "64", "--seed", "3"])
+        assert "psd" in out and "agnostic" in out
+
+    def test_optimize(self, capsys, system_path):
+        out = _assert_deterministic(
+            capsys, ["optimize", system_path, "--budget", "1e-4",
+                     "--n-psd", "64", "--max-bits", "16", "--seed", "3"])
+        assert "total fractional bits" in out
+
+    def test_sweep(self, capsys, system_path):
+        out = _assert_deterministic(
+            capsys, ["sweep", system_path, "--budgets", "1e-3", "1e-5",
+                     "--n-psd", "64", "--max-bits", "16", "--seed", "3"])
+        assert "pareto-optimal points" in out
+
+    def test_campaign(self, capsys, tmp_path):
+        # Separate cache directories per run: a shared cache would flip
+        # the (data-bearing) "cached?" column between runs.
+        outputs = []
+        for run in range(2):
+            code, out = _run(capsys, [
+                "campaign", "--scenarios", "table1_fir:taps=8",
+                "random:seed=4,blocks=4", "--methods", "psd", "simulation",
+                "--wordlengths", "8", "12", "--n-psd", "64",
+                "--samples", "2000", "--seed", "3",
+                "--cache-dir", str(tmp_path / f"cache{run}")])
+            assert code == 0, out
+            outputs.append(_normalize(out))
+        assert outputs[0] == outputs[1]
+        assert "0 hits / 8 jobs" in outputs[0]
+
+    def test_campaign_list_scenarios(self, capsys):
+        code, out = _run(capsys, ["campaign", "--list-scenarios"])
+        assert code == 0
+        assert "random" in out and "table1_fir" in out
+
+    def test_fuzz(self, capsys, tmp_path):
+        argv = ["fuzz", "--count", "2", "--seed", "0", "--blocks", "4",
+                "--samples", "1152", "--ed-samples", "4608",
+                "--n-psd", "96", "--artifacts", str(tmp_path / "artifacts")]
+        out = _assert_deterministic(capsys, argv)
+        assert "fuzzed 2 random graph(s)" in out
+        assert "all passed" in out
+        # No artifacts for a clean run.
+        assert not (tmp_path / "artifacts").exists()
+
+
+class TestErrorPaths:
+    def test_missing_system_file_is_exit_code_1(self, capsys):
+        code = main(["evaluate", "no-such-file.json"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_scenario_is_exit_code_1(self, capsys):
+        code = main(["campaign", "--scenarios", "not_a_family"])
+        assert code == 1
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_fuzz_rejects_non_positive_count(self, capsys):
+        code = main(["fuzz", "--count", "0"])
+        assert code == 1
+        assert "--count" in capsys.readouterr().err
+
+    def test_fuzz_rejects_invalid_generator_knobs(self, capsys):
+        # Bad generator arguments are a usage error, not 'count' seeded
+        # graphs all reported as failing.
+        code = main(["fuzz", "--count", "2", "--blocks", "-1"])
+        assert code == 1
+        assert "--blocks" in capsys.readouterr().err
+        code = main(["fuzz", "--count", "2", "--seed", "-3"])
+        assert code == 1
+        assert "--seed" in capsys.readouterr().err
+
+    def test_fuzz_artifact_round_trip_on_forced_failure(self, capsys,
+                                                        tmp_path,
+                                                        monkeypatch):
+        """A fuzz failure prints the reproducing seed, exits non-zero and
+        dumps a loadable artifact."""
+        from repro.verify import differential
+
+        def broken(graph, plan, **options):
+            raise AssertionError("injected engine bug")
+
+        monkeypatch.setitem(differential._CHECKS, "plan_vs_legacy", broken)
+        code, out = _run(capsys, [
+            "fuzz", "--count", "1", "--seed", "17", "--blocks", "3",
+            "--samples", "1152", "--ed-samples", "1152", "--n-psd", "96",
+            "--no-shrink", "--artifacts", str(tmp_path)])
+        assert code == 1
+        assert "seed 17: FAILED" in out
+        assert "--seed 17 --count 1" in out
+        data = json.loads((tmp_path / "seed17.json").read_text())
+        assert data["name"] == "random-sfg-seed17"

@@ -20,12 +20,21 @@ from hypothesis import given, settings, strategies as st
 from repro.analysis.agnostic_method import evaluate_agnostic
 from repro.analysis.flat_method import evaluate_flat
 from repro.analysis.psd_method import evaluate_psd
-from repro.fixedpoint.noise_model import NoiseStats
+from repro.fixedpoint.noise_model import NoiseStats, quantization_noise_stats
+from repro.fixedpoint.qformat import QFormat
+from repro.fixedpoint.quantizer import (
+    Quantizer,
+    RoundingMode,
+    round_half_away,
+)
 from repro.lti.fir_design import design_fir_lowpass
 from repro.lti.transfer_function import TransferFunction
 from repro.psd.spectrum import DiscretePsd
 from repro.sfg.builder import SfgBuilder
 from repro.systems.dwt.noise_model import SeparableNoiseField
+
+_ROUNDING_MODES = st.sampled_from([RoundingMode.ROUND, RoundingMode.TRUNCATE,
+                                   RoundingMode.CONVERGENT])
 
 
 def _simple_graph(bits, taps):
@@ -90,6 +99,93 @@ class TestPsdConservationLaws:
         psd = DiscretePsd.from_moments(0.0, variance, 128).filtered(
             TransferFunction.fir(taps).frequency_response(128))
         assert field.variance == pytest.approx(psd.variance, rel=1e-6)
+
+
+class TestFixedPointInvariants:
+    """Seeded properties of the quantization layer itself: idempotence,
+    odd symmetry of the rounding characteristic, and agreement of the
+    PQN noise model with empirically measured error moments."""
+
+    @settings(deadline=None, max_examples=40)
+    @given(st.integers(min_value=0, max_value=16), _ROUNDING_MODES,
+           st.integers(min_value=0, max_value=2 ** 31 - 1))
+    def test_quantizer_is_idempotent(self, bits, rounding, seed):
+        """Re-quantizing at the same format must be the identity."""
+        quantizer = Quantizer(QFormat(15, bits), rounding=rounding)
+        values = np.random.default_rng(seed).uniform(-4.0, 4.0, 512)
+        once = quantizer.quantize(values)
+        np.testing.assert_array_equal(quantizer.quantize(once), once)
+
+    @settings(deadline=None, max_examples=40)
+    @given(st.integers(min_value=-10 ** 9, max_value=10 ** 9),
+           st.integers(min_value=0, max_value=2 ** 31 - 1))
+    def test_round_half_away_is_odd(self, half_step, seed):
+        """``round_half_away(-x) == -round_half_away(x)``, ties included."""
+        # Exact half-integers are the interesting inputs — they are where
+        # the asymmetric floor(x + 0.5) rule breaks the symmetry.
+        ties = np.array([half_step / 2.0])
+        np.testing.assert_array_equal(round_half_away(-ties),
+                                      -round_half_away(ties))
+        values = np.random.default_rng(seed).uniform(-100.0, 100.0, 256)
+        np.testing.assert_array_equal(round_half_away(-values),
+                                      -round_half_away(values))
+
+    @settings(deadline=None, max_examples=15)
+    @given(st.integers(min_value=3, max_value=8), _ROUNDING_MODES,
+           st.integers(min_value=0, max_value=2 ** 31 - 1))
+    def test_pqn_moments_match_empirical_continuous_input(self, bits,
+                                                          rounding, seed):
+        """Model moments vs measured moments, continuous-amplitude input."""
+        model = quantization_noise_stats(bits, rounding=rounding)
+        quantizer = Quantizer(QFormat(15, bits), rounding=rounding)
+        values = np.random.default_rng(seed).uniform(-0.9, 0.9, 200_000)
+        error = quantizer.error(values)
+        step = 2.0 ** -bits
+        # Mean to five standard errors of the uniform error distribution;
+        # variance to 5 % (exact for a uniform continuous input).
+        assert np.mean(error) == pytest.approx(
+            model.mean, abs=5.0 * step / np.sqrt(12.0 * error.size))
+        assert np.var(error) == pytest.approx(model.variance, rel=0.05)
+
+    @settings(deadline=None, max_examples=15)
+    @given(st.integers(min_value=3, max_value=7),
+           st.integers(min_value=2, max_value=8), _ROUNDING_MODES,
+           st.integers(min_value=0, max_value=2 ** 31 - 1))
+    def test_pqn_moments_match_empirical_requantization(self, bits, extra,
+                                                        rounding, seed):
+        """Model moments vs measured moments when the input already lives
+        on a finer grid (the re-quantization case, including the tie
+        term of ties-away-from-zero rounding)."""
+        input_bits = bits + extra
+        model = quantization_noise_stats(bits, rounding=rounding,
+                                         input_fractional_bits=input_bits)
+        fine = Quantizer(QFormat(15, input_bits), rounding=rounding)
+        coarse = Quantizer(QFormat(15, bits), rounding=rounding)
+        values = fine.quantize(
+            np.random.default_rng(seed).uniform(-0.9, 0.9, 400_000))
+        error = coarse.error(values)
+        step = 2.0 ** -bits
+        tolerance = 5.0 * step / np.sqrt(12.0 * error.size)
+        if rounding is RoundingMode.CONVERGENT:
+            # The model documents that the discrete-input tie term of
+            # convergent rounding is neglected; only the mean is exact.
+            assert np.mean(error) == pytest.approx(model.mean, abs=tolerance)
+        else:
+            assert np.mean(error) == pytest.approx(model.mean, abs=tolerance)
+            assert np.var(error) == pytest.approx(
+                model.variance, rel=0.05, abs=step * step / 2_000.0)
+
+    @settings(deadline=None, max_examples=20)
+    @given(st.integers(min_value=0, max_value=12),
+           st.integers(min_value=0, max_value=6), _ROUNDING_MODES)
+    def test_coarser_or_equal_input_grid_means_zero_noise(self, bits, extra,
+                                                          rounding):
+        """A quantizer whose input is already representable is lossless —
+        the model must predict exactly zero noise for it."""
+        stats = quantization_noise_stats(
+            bits, rounding=rounding, input_fractional_bits=max(0, bits - extra))
+        assert stats.mean == 0.0
+        assert stats.variance == 0.0
 
 
 class TestEstimatorConsistency:
