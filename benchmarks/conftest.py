@@ -9,7 +9,10 @@ variable ``REPRO_FULL_BENCH=1``.
 
 All harnesses print their table to stdout (run pytest with ``-s`` to see
 it) and also write it under ``benchmarks/results/`` so the numbers used in
-EXPERIMENTS.md can be traced back to a file.
+EXPERIMENTS.md can be traced back to a file.  Next to every human-readable
+``.txt`` report each harness drops a machine-readable ``BENCH_<name>.json``
+(schema of :mod:`repro.bench`) so CI jobs and ``repro bench --check`` can
+consume the same measurements.
 """
 
 from __future__ import annotations
@@ -18,6 +21,8 @@ import os
 from pathlib import Path
 
 import pytest
+
+from repro.bench import bench_payload, write_bench_json
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -68,3 +73,13 @@ def write_report(results_dir: Path, name: str, text: str) -> None:
     """Print a report and persist it under ``benchmarks/results/``."""
     print("\n" + text)
     (results_dir / name).write_text(text + "\n")
+
+
+def write_bench(results_dir: Path, name: str, *, workload: dict,
+                seconds: dict, speedup: dict | None = None,
+                tags=()) -> None:
+    """Persist one machine-readable ``BENCH_<name>.json`` measurement."""
+    payload = bench_payload(
+        name, workload=workload, seconds=seconds, speedup=speedup,
+        tags=tags, mode="full" if full_mode() else "reduced")
+    write_bench_json(results_dir, payload)

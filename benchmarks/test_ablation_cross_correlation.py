@@ -25,7 +25,7 @@ from repro.lti.fir_design import design_fir_lowpass
 from repro.sfg.builder import SfgBuilder
 from repro.utils.tables import TextTable
 
-from conftest import write_report
+from conftest import write_bench, write_report
 
 
 def _two_path_graph(branch_taps, fractional_bits=12):
@@ -40,6 +40,8 @@ def _two_path_graph(branch_taps, fractional_bits=12):
 
 
 def test_cross_correlation_ablation(benchmark, bench_config, results_dir):
+    import time
+    start = time.perf_counter()
     cases = {
         # Nearly coherent recombination: branch is a short delay-like filter.
         "coherent (identity branch)": np.array([1.0]),
@@ -71,6 +73,12 @@ def test_cross_correlation_ablation(benchmark, bench_config, results_dir):
                       round(flat_ed, 2))
 
     write_report(results_dir, "ablation_cross_correlation.txt", table.render())
+    write_bench(results_dir, "ablation_cross_correlation",
+                workload={"cases": len(cases),
+                          "worst_uncorrelated_ed_percent": worst_uncorrelated,
+                          "worst_tracked_ed_percent": worst_tracked},
+                seconds={"harness": time.perf_counter() - start},
+                tags=("accuracy",))
 
     # The tracked variant must stay accurate everywhere; the uncorrelated
     # variant must show a visibly larger worst case (it halves the

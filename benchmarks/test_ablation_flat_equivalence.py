@@ -21,11 +21,13 @@ from repro.systems.filter_bank import (
 )
 from repro.utils.tables import TextTable
 
-from conftest import write_report
+from conftest import write_bench, write_report
 
 
 def test_flat_equivalence_on_elementary_blocks(benchmark, bench_config,
                                                results_dir):
+    import time
+    start = time.perf_counter()
     n_psd = 4096
     entries = generate_fir_bank(6) + generate_iir_bank(6)
 
@@ -45,6 +47,11 @@ def test_flat_equivalence_on_elementary_blocks(benchmark, bench_config,
 
     table.add_row("max over bank", "", "", round(max(gaps), 4))
     write_report(results_dir, "ablation_flat_equivalence.txt", table.render())
+    write_bench(results_dir, "ablation_flat_equivalence",
+                workload={"filters": len(entries), "n_psd": n_psd,
+                          "max_gap_percent": max(gaps)},
+                seconds={"harness": time.perf_counter() - start},
+                tags=("accuracy",))
 
     assert max(gaps) < 2.0, \
         "flat and PSD methods must coincide on elementary blocks"

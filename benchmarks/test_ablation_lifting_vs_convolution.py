@@ -22,10 +22,12 @@ from repro.systems.dwt.codec import Dwt97Codec
 from repro.systems.dwt.lifting import LiftingDwt97Codec
 from repro.utils.tables import TextTable
 
-from conftest import write_report
+from conftest import write_bench, write_report
 
 
 def test_lifting_vs_convolution_ablation(benchmark, bench_config, results_dir):
+    import time
+    start = time.perf_counter()
     images = ImageGenerator(size=bench_config["dwt_image_size"],
                             seed=7).corpus(max(2, bench_config["dwt_images"] // 2))
     bitwidths = (8, 12, 16)
@@ -54,6 +56,10 @@ def test_lifting_vs_convolution_ablation(benchmark, bench_config, results_dir):
 
     write_report(results_dir, "ablation_lifting_vs_convolution.txt",
                  table.render())
+    write_bench(results_dir, "ablation_lifting_vs_convolution",
+                workload={"images": len(images), "bitwidths": list(bitwidths)},
+                seconds={"harness": time.perf_counter() - start},
+                tags=("accuracy",))
 
     # Both realizations scale as q^2: one word-length step of 4 bits is a
     # factor of 4^4 = 256 in power.

@@ -17,7 +17,7 @@ from repro.lti.fir_design import design_fir_lowpass
 from repro.sfg.builder import SfgBuilder
 from repro.utils.tables import TextTable
 
-from conftest import write_report
+from conftest import write_bench, write_report
 
 
 def _cascade(fractional_bits, rounding):
@@ -32,6 +32,8 @@ def _cascade(fractional_bits, rounding):
 
 
 def test_rounding_mode_ablation(benchmark, bench_config, results_dir):
+    import time
+    start = time.perf_counter()
     bits = 12
     table = TextTable(
         ["rounding mode", "simulated power", "PSD estimate", "Ed [%]",
@@ -53,6 +55,11 @@ def test_rounding_mode_ablation(benchmark, bench_config, results_dir):
                       round(mean_share, 1))
 
     write_report(results_dir, "ablation_rounding_modes.txt", table.render())
+    write_bench(results_dir, "ablation_rounding_modes",
+                workload={"fractional_bits": bits,
+                          "modes": sorted(results)},
+                seconds={"harness": time.perf_counter() - start},
+                tags=("accuracy",))
 
     round_sim, round_report = results["round"]
     trunc_sim, trunc_report = results["truncate"]

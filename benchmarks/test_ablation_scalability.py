@@ -23,7 +23,7 @@ from repro.sfg.builder import SfgBuilder
 from repro.utils.tables import TextTable
 from repro.utils.timing import time_callable
 
-from conftest import write_report
+from conftest import write_bench, write_report
 
 
 def _chain_graph(num_blocks: int, taps_per_block: int = 33,
@@ -84,6 +84,15 @@ def test_scalability_in_blocks_and_bins(benchmark, bench_config, results_dir):
 
     report = "\n\n".join([table.render(), bin_table.render(), summary.render()])
     write_report(results_dir, "ablation_scalability.txt", report)
+    write_bench(results_dir, "ablation_scalability",
+                workload={"block_counts": list(block_counts),
+                          "bin_counts": list(bin_counts),
+                          "psd_block_slope": block_slope,
+                          "flat_block_slope": flat_slope,
+                          "psd_bin_slope": bin_slope},
+                seconds={"psd_eval_32_blocks": psd_times[-1],
+                         "flat_eval_32_blocks": flat_times[-1]},
+                tags=("scalability",))
 
     # Claims: the PSD method is (sub-)linear in both dimensions; the flat
     # method grows super-linearly with the chain length (path functions

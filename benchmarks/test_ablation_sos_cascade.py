@@ -21,10 +21,12 @@ from repro.lti.iir_design import design_iir_filter
 from repro.lti.sos import build_direct_form_graph, build_sos_graph
 from repro.utils.tables import TextTable
 
-from conftest import write_report
+from conftest import write_bench, write_report
 
 
 def test_sos_cascade_ablation(benchmark, bench_config, results_dir):
+    import time
+    start = time.perf_counter()
     bits = 12
     designs = {
         "butterworth order 4, fc=0.3": design_iir_filter(
@@ -59,6 +61,11 @@ def test_sos_cascade_ablation(benchmark, bench_config, results_dir):
             realization_gap_seen = True
 
     write_report(results_dir, "ablation_sos_cascade.txt", table.render())
+    write_bench(results_dir, "ablation_sos_cascade",
+                workload={"fractional_bits": bits,
+                          "designs": sorted(designs)},
+                seconds={"harness": time.perf_counter() - start},
+                tags=("accuracy",))
 
     assert all_sub_one_bit, \
         "the PSD estimator must track both realizations within one bit"

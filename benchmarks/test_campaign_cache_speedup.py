@@ -25,7 +25,7 @@ from repro.campaign import (
 )
 from repro.utils.tables import TextTable
 
-from conftest import write_report
+from conftest import write_bench, write_report
 
 
 def _campaign_spec(bench_config, wordlengths=(8, 12, 16)):
@@ -103,6 +103,15 @@ def test_campaign_cache_and_parallel_speedup(bench_config, results_dir,
                 f"{'all' if entry['all_sub_one_bit'] else 'NOT all'}")
     write_report(results_dir, "campaign_cache_speedup.txt",
                  "\n".join(lines))
+    write_bench(results_dir, "campaign_cache_speedup",
+                workload={"jobs": cold.total_jobs,
+                          "scenarios": len(spec.scenarios),
+                          "methods": len(spec.methods),
+                          "wordlengths": len(spec.wordlengths)},
+                seconds={"cold": cold_seconds, "warm": warm_seconds,
+                         "superset": superset_seconds},
+                speedup={"warm_vs_cold": cache_speedup},
+                tags=("campaign",))
 
     for entry in summary["methods"].values():
         if "all_sub_one_bit" in entry:

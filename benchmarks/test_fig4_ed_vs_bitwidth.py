@@ -26,10 +26,12 @@ from repro.systems.dwt.codec import Dwt97Codec
 from repro.systems.freq_filter import FrequencyDomainFilter
 from repro.utils.tables import TextTable
 
-from conftest import write_report
+from conftest import write_bench, write_report
 
 
 def test_fig4_ed_vs_bitwidth(benchmark, bench_config, results_dir):
+    import time
+    start = time.perf_counter()
     n_psd = bench_config["default_n_psd"]
     bitwidths = bench_config["bitwidth_sweep"]
 
@@ -56,6 +58,12 @@ def test_fig4_ed_vs_bitwidth(benchmark, bench_config, results_dir):
         table.add_row(bits, round(ff, 2), round(dwt, 2))
 
     write_report(results_dir, "fig4_ed_vs_bitwidth.txt", table.render())
+    write_bench(results_dir, "fig4_ed_vs_bitwidth",
+                workload={"n_psd": n_psd, "bitwidths": list(bitwidths),
+                          "max_abs_ed_percent": max(
+                              abs(v) for v in freq_series + dwt_series)},
+                seconds={"harness": time.perf_counter() - start},
+                tags=("accuracy",))
 
     assert all(abs(value) < 75.0 for value in freq_series + dwt_series), \
         "every point must stay within the sub-one-bit band"

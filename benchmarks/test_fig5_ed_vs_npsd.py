@@ -24,10 +24,12 @@ from repro.systems.dwt.codec import Dwt97Codec
 from repro.systems.freq_filter import FrequencyDomainFilter
 from repro.utils.tables import TextTable
 
-from conftest import full_mode, write_report
+from conftest import full_mode, write_bench, write_report
 
 
 def test_fig5_ed_vs_npsd(benchmark, bench_config, results_dir):
+    import time
+    start = time.perf_counter()
     bits = 20 if full_mode() else 16
     sweep = bench_config["n_psd_sweep"]
 
@@ -59,6 +61,12 @@ def test_fig5_ed_vs_npsd(benchmark, bench_config, results_dir):
         table.add_row(n_psd, round(ff_ed, 2), round(dwt_ed, 2))
 
     write_report(results_dir, "fig5_ed_vs_npsd.txt", table.render())
+    write_bench(results_dir, "fig5_ed_vs_npsd",
+                workload={"fractional_bits": bits, "n_psd_sweep": list(sweep),
+                          "max_abs_ed_percent": max(
+                              abs(v) for v in ff_series + dwt_series)},
+                seconds={"harness": time.perf_counter() - start},
+                tags=("accuracy",))
 
     assert all(abs(v) < 75.0 for v in ff_series + dwt_series)
     assert abs(ff_series[-1]) <= abs(ff_series[0]) + 5.0, \

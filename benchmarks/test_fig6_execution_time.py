@@ -25,7 +25,7 @@ from repro.systems.freq_filter import FrequencyDomainFilter
 from repro.utils.tables import TextTable
 from repro.utils.timing import time_callable
 
-from conftest import write_report
+from conftest import write_bench, write_report
 
 
 def test_fig6_execution_time(benchmark, bench_config, results_dir):
@@ -75,6 +75,18 @@ def test_fig6_execution_time(benchmark, bench_config, results_dir):
                       round(dwt_sim_time / dwt_time, 1))
 
     write_report(results_dir, "fig6_execution_time.txt", table.render())
+    write_bench(results_dir, "fig6_execution_time",
+                workload={"ff_samples": len(stimulus), "dwt_images": len(images),
+                          "n_psd_sweep": list(sweep)},
+                seconds={"ff_simulation": ff_sim_time,
+                         "dwt_simulation": dwt_sim_time,
+                         "ff_estimation_finest": ff_times[-1],
+                         "dwt_estimation_finest": dwt_times[-1]},
+                speedup={"ff_estimation_vs_simulation":
+                         ff_sim_time / min(ff_times),
+                         "dwt_estimation_vs_simulation":
+                         dwt_sim_time / min(dwt_times)},
+                tags=("fig6",))
 
     # Shape-level claims.
     assert all(t < ff_sim_time for t in ff_times), \

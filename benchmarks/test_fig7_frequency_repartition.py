@@ -23,7 +23,7 @@ from repro.data.images import ImageGenerator
 from repro.systems.dwt.codec import Dwt97Codec
 from repro.utils.tables import TextTable
 
-from conftest import write_report
+from conftest import write_bench, write_report
 
 
 def _coarsen(grid: np.ndarray, size: int = 16) -> np.ndarray:
@@ -74,6 +74,15 @@ def test_fig7_frequency_repartition(benchmark, bench_config, results_dir):
     table.add_row("log-spectrum correlation (16x16 grid)",
                   round(correlation, 3), "")
     write_report(results_dir, "fig7_frequency_repartition.txt", table.render())
+    import time
+    start = time.perf_counter()
+    codec.estimated_error_psd_2d(n_psd=64)
+    estimation_seconds = time.perf_counter() - start
+    write_bench(results_dir, "fig7_frequency_repartition",
+                workload={"fractional_bits": bits, "images": len(images),
+                          "log_spectrum_correlation": correlation},
+                seconds={"psd_map_estimation": estimation_seconds},
+                tags=("accuracy",))
 
     assert correlation > 0.5, \
         "estimated error spectrum must correlate with the simulated one"

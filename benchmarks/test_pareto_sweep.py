@@ -32,7 +32,7 @@ from repro.systems.pareto import budget_range, sweep_noise_budgets
 from repro.systems.wordlength import WordLengthOptimizer
 from repro.utils.tables import TextTable
 
-from conftest import write_report
+from conftest import write_bench, write_report
 
 
 def _cascade_graph(stages: int = 10, bits: int = 16):
@@ -118,6 +118,15 @@ def test_pareto_sweep_and_batched_speedup(bench_config, results_dir):
     table.add_row("pareto-optimal points", len(front.pareto_points()))
     report = table.render() + "\n\n" + front.describe()
     write_report(results_dir, "pareto_sweep.txt", report)
+    write_bench(results_dir, "pareto_sweep",
+                workload={"n_psd": n_psd, "greedy_rounds": rounds,
+                          "sweep_points": sweep_points,
+                          "pareto_points": len(front.points)},
+                seconds={"greedy_batched": timings[True],
+                         "greedy_sequential": timings[False],
+                         "sweep": sweep_time},
+                speedup={"per_round": speedup},
+                tags=("pareto",))
 
     # Acceptance: >= 2x per greedy round, and a front of >= 5 points, each
     # inside the sub-one-bit band of its own Monte-Carlo validation.

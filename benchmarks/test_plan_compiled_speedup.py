@@ -27,7 +27,7 @@ from repro.systems.freq_filter import build_frequency_filter_graph
 from repro.systems.wordlength import WordLengthOptimizer
 from repro.utils.tables import TextTable
 
-from conftest import write_report
+from conftest import write_bench, write_report
 
 
 def _timed(callable_, repeat: int) -> float:
@@ -95,6 +95,19 @@ def test_plan_compiled_speedup(bench_config, results_dir):
                   round(baseline_search_time, 5),
                   round(baseline_search_time / search_time, 1))
     write_report(results_dir, "plan_compiled_speedup.txt", table.render())
+    write_bench(results_dir, "plan_compiled_speedup",
+                workload={"n_psd": n_psd, "repeated_calls": repeated_calls,
+                          "search_evaluations": result.evaluations},
+                seconds={"repeated_estimate_cached":
+                         repeated_calls * cached_time,
+                         "repeated_estimate_fresh":
+                         repeated_calls * fresh_time,
+                         "wordlength_search": search_time,
+                         "wordlength_search_baseline": baseline_search_time},
+                speedup={"repeated_estimate": fresh_time / cached_time,
+                         "wordlength_search":
+                         baseline_search_time / search_time},
+                tags=("plan",))
 
     # The whole point of the plan layer: repeated evaluation must be
     # substantially faster than compiling on every call.

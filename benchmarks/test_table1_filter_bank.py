@@ -28,10 +28,12 @@ from repro.systems.filter_bank import (
 )
 from repro.utils.tables import TextTable
 
-from conftest import write_report
+from conftest import write_bench, write_report
 
 
 def test_table1_filter_bank(benchmark, bench_config, results_dir):
+    import time
+    start = time.perf_counter()
     count = bench_config["filter_bank_count"]
     samples = bench_config["filter_bank_samples"]
     n_psd = bench_config["default_n_psd"]
@@ -59,6 +61,13 @@ def test_table1_filter_bank(benchmark, bench_config, results_dir):
     table.add_row("mean(|Ed|) [%]", round(fir_row[2], 3), round(iir_row[2], 3),
                   0.11, 9.44)
     write_report(results_dir, "table1_filter_bank.txt", table.render())
+    write_bench(results_dir, "table1_filter_bank",
+                workload={"filters": 2 * count, "samples": samples,
+                          "n_psd": n_psd,
+                          "fir_mean_abs_ed": fir_result.mean_abs_ed,
+                          "iir_mean_abs_ed": iir_result.mean_abs_ed},
+                seconds={"harness": time.perf_counter() - start},
+                tags=("accuracy",))
 
     # Shape-level reproduction claims.
     assert fir_result.mean_abs_ed < 0.05, "FIR estimates should be within a few %"

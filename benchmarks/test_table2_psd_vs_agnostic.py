@@ -26,7 +26,7 @@ from repro.systems.dwt.codec import Dwt97Codec
 from repro.systems.freq_filter import FrequencyDomainFilter
 from repro.utils.tables import TextTable
 
-from conftest import write_report
+from conftest import write_bench, write_report
 
 
 def _freq_filter_row(samples: int):
@@ -56,6 +56,8 @@ def _dwt_row(num_images: int, image_size: int):
 
 
 def test_table2_psd_vs_agnostic(benchmark, bench_config, results_dir):
+    import time
+    start = time.perf_counter()
     ff_power, ff = _freq_filter_row(bench_config["freq_filter_samples"])
     dwt_power, dwt = _dwt_row(bench_config["dwt_images"],
                               bench_config["dwt_image_size"])
@@ -73,6 +75,11 @@ def test_table2_psd_vs_agnostic(benchmark, bench_config, results_dir):
     table.add_row("paper: Freq. Filt.", -8.40, -0.87, 29.5, float("nan"))
     table.add_row("paper: DWT 9/7", 1.10, 0.90, 610.0, float("nan"))
     write_report(results_dir, "table2_psd_vs_agnostic.txt", table.render())
+    write_bench(results_dir, "table2_psd_vs_agnostic",
+                workload={"fractional_bits": 12,
+                          "ff_ed_percent": ff, "dwt_ed_percent": dwt},
+                seconds={"harness": time.perf_counter() - start},
+                tags=("accuracy",))
 
     # Shape-level claims.
     assert abs(ff["max_acc"]) < abs(ff["agnostic"]), \

@@ -31,7 +31,7 @@ from typing import Protocol, runtime_checkable
 import numpy as np
 
 from repro.analysis.metrics import noise_power
-from repro.psd.estimation import estimate_psd
+from repro.psd.estimation import estimate_psd, estimate_psd_batch
 from repro.psd.spectrum import DiscretePsd
 from repro.sfg.executor import SfgExecutor
 from repro.sfg.graph import SignalFlowGraph
@@ -226,8 +226,9 @@ class SimulationEvaluator:
     def _error_psd(error: np.ndarray, n_psd: int) -> DiscretePsd:
         if error.ndim == 1:
             return estimate_psd(error, n_psd)
-        # Batched record: average the per-trial Welch estimates.
-        trials = [estimate_psd(row, n_psd) for row in error]
+        # Batched record: average the per-trial Welch estimates (all
+        # trials share one batched FFT pass).
+        trials = estimate_psd_batch(error, n_psd)
         ac = np.mean([psd.ac for psd in trials], axis=0)
         mean = float(np.mean([psd.mean for psd in trials]))
         return DiscretePsd(ac, mean)

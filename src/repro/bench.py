@@ -1,0 +1,302 @@
+"""Machine-readable performance benchmarks and regression checking.
+
+Two halves:
+
+* **Schema + writer** — every benchmark (the pytest harnesses under
+  ``benchmarks/`` and the CLI benches below) reports its measurement as
+  one ``BENCH_<name>.json`` file: workload description, wall-clock
+  seconds and derived speedup ratios.  The schema is deliberately tiny so
+  CI jobs and the regression checker can consume any benchmark the same
+  way.
+* **Registry + checker** — a small set of quick, tagged benchmark
+  functions runnable without pytest (the ``repro bench`` subcommand).
+  Each times the *reference* backend (the preserved legacy loops of
+  :mod:`repro.simkernel.reference`) against the optimized kernels on the
+  same workload, asserts the outputs are bitwise identical, and reports
+  the speedup.  ``repro bench --check`` then compares the measured
+  speedups against the committed floors in
+  ``benchmarks/bench_baseline.json`` and fails on regression.
+
+Speedup *ratios* — not absolute seconds — are what the baseline pins:
+both sides of each ratio run in the same process on the same machine, so
+the check is robust to slow CI runners while still catching an engine
+regression (the optimized path falling back to, or degrading towards,
+the legacy loops).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+#: Version tag written into every BENCH_*.json payload.
+BENCH_SCHEMA = 1
+
+#: Default location of the committed speedup floors.
+DEFAULT_BASELINE = "benchmarks/bench_baseline.json"
+
+
+# ----------------------------------------------------------------------
+# Schema + writer
+# ----------------------------------------------------------------------
+def bench_payload(name: str, *, workload: dict, seconds: dict,
+                  speedup: dict | None = None, tags=(),
+                  mode: str | None = None) -> dict:
+    """Assemble one benchmark measurement in the shared JSON schema."""
+    return {
+        "schema": BENCH_SCHEMA,
+        "name": str(name),
+        "tags": sorted(str(tag) for tag in tags),
+        "mode": mode,
+        "workload": dict(workload),
+        "seconds": {key: float(value) for key, value in seconds.items()},
+        "speedup": {key: float(value)
+                    for key, value in (speedup or {}).items()},
+    }
+
+
+def write_bench_json(results_dir, payload: dict) -> Path:
+    """Persist one payload as ``BENCH_<name>.json`` under ``results_dir``."""
+    results_dir = Path(results_dir)
+    results_dir.mkdir(parents=True, exist_ok=True)
+    path = results_dir / f"BENCH_{payload['name']}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_bench_json(path) -> dict:
+    """Load one BENCH_*.json payload (validating the schema tag)."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("schema") != BENCH_SCHEMA:
+        raise ValueError(f"{path}: unsupported bench schema "
+                         f"{payload.get('schema')!r}")
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BenchEntry:
+    """One registered CLI benchmark."""
+
+    name: str
+    tags: tuple
+    description: str
+    function: object = field(repr=False)
+
+
+_REGISTRY: dict[str, BenchEntry] = {}
+
+
+def _registered(name: str, tags, description: str):
+    def decorate(function):
+        _REGISTRY[name] = BenchEntry(name, tuple(tags), description, function)
+        return function
+    return decorate
+
+
+def bench_entries(tags=None, names=None) -> list[BenchEntry]:
+    """Registered benches filtered by tags and/or explicit names."""
+    entries = list(_REGISTRY.values())
+    if names:
+        unknown = sorted(set(names) - set(_REGISTRY))
+        if unknown:
+            raise ValueError(f"unknown benchmark(s) {unknown}; registered: "
+                             f"{sorted(_REGISTRY)}")
+        entries = [_REGISTRY[name] for name in names]
+    if tags:
+        wanted = set(tags)
+        entries = [entry for entry in entries
+                   if wanted & set(entry.tags)]
+    return entries
+
+
+def _timed(function, *args):
+    start = time.perf_counter()
+    result = function(*args)
+    return result, time.perf_counter() - start
+
+
+def _require_bitwise(label: str, reference, optimized) -> None:
+    if not (np.shape(reference) == np.shape(optimized)
+            and np.array_equal(reference, optimized)):
+        raise RuntimeError(
+            f"{label}: optimized output is not bitwise identical to the "
+            "reference backend — refusing to report a speedup for a "
+            "broken kernel")
+
+
+# ----------------------------------------------------------------------
+# The registered benches
+# ----------------------------------------------------------------------
+@_registered("sim_engine_ff", tags=("smoke", "sim"),
+             description="Fig. 6 frequency-filter bit-true simulation: "
+                         "legacy loops vs vectorized kernels")
+def bench_sim_engine_ff(samples: int = 60_000, seed: int = 1) -> dict:
+    """The Fig. 6 F.F. workload: dual-mode simulation of the Fig. 2 system."""
+    from repro.analysis.simulation_method import SimulationEvaluator
+    from repro.data.signals import uniform_white_noise
+    from repro.simkernel import use_backend
+    from repro.systems.freq_filter import FrequencyDomainFilter
+
+    system = FrequencyDomainFilter(fractional_bits=12, n_psd=1024)
+    evaluator = SimulationEvaluator(system.evaluator.plan)
+    stimulus = {"x": uniform_white_noise(samples, seed=seed)}
+    with use_backend("reference"):
+        reference, reference_seconds = _timed(evaluator.error_signal, stimulus)
+    with use_backend("numpy"):
+        optimized, numpy_seconds = _timed(evaluator.error_signal, stimulus)
+    _require_bitwise("sim_engine_ff", reference, optimized)
+    return bench_payload(
+        "sim_engine_ff",
+        workload={"system": "frequency-domain-filter", "samples": samples,
+                  "fractional_bits": 12},
+        seconds={"reference": reference_seconds, "numpy": numpy_seconds},
+        speedup={"bit_true_simulation": reference_seconds / numpy_seconds},
+        tags=("smoke", "sim"))
+
+
+@_registered("sim_engine_iir", tags=("smoke", "sim"),
+             description="Direct-form IIR bit-true recursion: legacy "
+                         "per-sample loop vs scaled-integer kernels")
+def bench_sim_engine_iir(samples: int = 60_000, seed: int = 3) -> dict:
+    """Single-stream and 64-trial batched IIR recursion."""
+    from repro.analysis.simulation_method import SimulationEvaluator
+    from repro.data.signals import uniform_white_noise
+    from repro.simkernel import available_backends, use_backend
+    from repro.systems.filter_bank import build_filter_graph, generate_iir_bank
+
+    graph = build_filter_graph(generate_iir_bank(3)[2], fractional_bits=12)
+    evaluator = SimulationEvaluator(graph)
+    stimulus = {"x": uniform_white_noise(samples, seed=seed)}
+    trials = 64
+    batched = {"x": np.stack([
+        uniform_white_noise(max(256, samples // trials), seed=seed + 1 + t)
+        for t in range(trials)])}
+
+    seconds: dict = {}
+    outputs: dict = {}
+    for backend in available_backends():
+        with use_backend(backend):
+            outputs[backend], seconds[backend] = _timed(
+                evaluator.error_signal, stimulus)
+            _, seconds[f"{backend}_batched"] = _timed(
+                evaluator.error_signal, batched)
+    for backend in outputs:
+        _require_bitwise(f"sim_engine_iir[{backend}]", outputs["reference"],
+                         outputs[backend])
+    speedup = {
+        "single_stream": seconds["reference"] / seconds["numpy"],
+        "batched_64": (seconds["reference_batched"]
+                       / seconds["numpy_batched"]),
+    }
+    if "numba" in seconds:
+        speedup["single_stream_numba"] = (seconds["reference"]
+                                          / seconds["numba"])
+    return bench_payload(
+        "sim_engine_iir",
+        workload={"system": "table1-iir", "samples": samples,
+                  "trials": trials, "fractional_bits": 12},
+        seconds=seconds, speedup=speedup, tags=("smoke", "sim"))
+
+
+@_registered("welch_psd", tags=("smoke", "psd"),
+             description="Welch PSD estimation: per-segment loop vs "
+                         "batched strided FFT")
+def bench_welch_psd(samples: int = 400_000, seed: int = 5) -> dict:
+    """Welch estimation: one long record, and a 64-trial stacked record."""
+    from repro.data.signals import uniform_white_noise
+    from repro.psd.estimation import _welch_reference, welch, welch_batched
+
+    n_bins = 256
+    record = uniform_white_noise(samples, seed=seed)
+    loop_psd, loop_seconds = _timed(_welch_reference, record, n_bins)
+    fast_psd, fast_seconds = _timed(welch, record, n_bins)
+    _require_bitwise("welch_psd", loop_psd.ac, fast_psd.ac)
+    if loop_psd.mean != fast_psd.mean:
+        raise RuntimeError("welch_psd: mean drifted between implementations")
+
+    trials = np.stack([
+        uniform_white_noise(max(n_bins, samples // 64), seed=seed + 1 + t)
+        for t in range(64)])
+    loop_rows, rows_seconds = _timed(
+        lambda: [_welch_reference(row, n_bins) for row in trials])
+    fast_rows, batch_seconds = _timed(welch_batched, trials, n_bins)
+    for loop_row, fast_row in zip(loop_rows, fast_rows):
+        _require_bitwise("welch_psd[batched]", loop_row.ac, fast_row.ac)
+    return bench_payload(
+        "welch_psd",
+        workload={"samples": samples, "n_bins": n_bins, "trials": 64},
+        seconds={"reference": loop_seconds, "numpy": fast_seconds,
+                 "reference_batched": rows_seconds,
+                 "numpy_batched": batch_seconds},
+        speedup={"welch": loop_seconds / fast_seconds,
+                 "welch_batched": rows_seconds / batch_seconds},
+        tags=("smoke", "psd"))
+
+
+def run_benches(entries, results_dir, samples: int | None = None) -> list[dict]:
+    """Run benches, write their BENCH_*.json files, return the payloads."""
+    payloads = []
+    for entry in entries:
+        payload = (entry.function(samples=samples) if samples
+                   else entry.function())
+        payload["mode"] = "cli"
+        write_bench_json(results_dir, payload)
+        payloads.append(payload)
+    return payloads
+
+
+# ----------------------------------------------------------------------
+# Baseline comparison
+# ----------------------------------------------------------------------
+def load_baseline(path) -> dict:
+    """Load the committed speedup floors."""
+    baseline = json.loads(Path(path).read_text())
+    if baseline.get("schema") != BENCH_SCHEMA:
+        raise ValueError(f"{path}: unsupported baseline schema "
+                         f"{baseline.get('schema')!r}")
+    return baseline
+
+
+def check_against_baseline(payloads: list[dict], baseline: dict) -> list[str]:
+    """Compare measured speedups to the baseline floors.
+
+    Returns a list of human-readable regression descriptions (empty when
+    everything is at or above its floor).  Missing measurements for a
+    floored key are regressions too — a silently skipped benchmark must
+    not look like a pass.
+    """
+    measured = {payload["name"]: payload.get("speedup", {})
+                for payload in payloads}
+    regressions = []
+    for name, floors in sorted(baseline.get("floors", {}).items()):
+        if name not in measured:
+            if name in _REGISTRY:
+                continue  # registered, just outside the selected tags/names
+            # A floor for a name the registry does not know means the
+            # benchmark was renamed or unregistered: its floor would
+            # otherwise never be evaluated again, silently.
+            regressions.append(
+                f"{name}: baseline floors reference an unknown benchmark "
+                "(renamed or unregistered?)")
+            continue
+        for key, floor in sorted(floors.items()):
+            value = measured[name].get(key)
+            if value is None:
+                if key.endswith("_numba"):
+                    from repro.simkernel import numba_available
+                    if not numba_available():
+                        continue  # optional-backend floor, backend absent
+                regressions.append(
+                    f"{name}.{key}: no measurement (floor {floor:g}x)")
+            elif value < float(floor):
+                regressions.append(
+                    f"{name}.{key}: speedup {value:.2f}x below the "
+                    f"baseline floor {floor:g}x")
+    return regressions

@@ -21,16 +21,12 @@ import numpy as np
 
 from repro.fixedpoint.quantizer import Quantizer, RoundingMode
 from repro.fixedpoint.qformat import QFormat
-
-
-def _bit_reverse_permutation(n: int) -> np.ndarray:
-    """Indices of the bit-reversal permutation of length ``n``."""
-    bits = int(np.log2(n))
-    indices = np.arange(n)
-    reversed_indices = np.zeros(n, dtype=int)
-    for bit in range(bits):
-        reversed_indices |= ((indices >> bit) & 1) << (bits - 1 - bit)
-    return reversed_indices
+from repro.simkernel.backend import resolve_backend
+from repro.simkernel.fft import (
+    bit_reverse_permutation as _bit_reverse_permutation,
+    fixed_fft_forward,
+    fixed_fft_inverse,
+)
 
 
 def _check_power_of_two(n: int) -> None:
@@ -129,11 +125,40 @@ class FixedPointFft:
                 + 1j * self._data_quantizer.quantize(values.imag))
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        """Fixed-point forward FFT of a block of ``size`` samples."""
+        """Fixed-point forward FFT over the last axis.
+
+        Accepts one block of ``size`` samples or any stack of blocks
+        ``(..., size)``; leading axes are independent transforms, all run
+        in one vectorized pass (the ``reference`` backend replays the
+        original per-block butterfly loop instead).
+        """
         x = np.asarray(x, dtype=complex)
-        if len(x) != self.size:
+        if x.shape[-1] != self.size:
             raise ValueError(f"expected a block of {self.size} samples, "
-                             f"got {len(x)}")
+                             f"got {x.shape[-1]}")
+        if resolve_backend() == "reference":
+            if x.ndim == 1:
+                return self._forward_reference(x)
+            flat = x.reshape(-1, self.size)
+            return np.stack([self._forward_reference(row)
+                             for row in flat]).reshape(x.shape)
+        return fixed_fft_forward(x, self.size, self._twiddle_cache,
+                                 self._quantize_complex)
+
+    def inverse(self, x: np.ndarray) -> np.ndarray:
+        """Fixed-point inverse FFT (scaled by ``1/size``) over the last axis."""
+        x = np.asarray(x, dtype=complex)
+        if x.shape[-1] != self.size:
+            raise ValueError(f"expected a block of {self.size} samples, "
+                             f"got {x.shape[-1]}")
+        if resolve_backend() == "reference":
+            result = np.conj(self.forward(np.conj(x))) / self.size
+            return self._quantize_complex(result)
+        return fixed_fft_inverse(x, self.size, self._twiddle_cache,
+                                 self._quantize_complex)
+
+    def _forward_reference(self, x: np.ndarray) -> np.ndarray:
+        """The original per-block butterfly loop (legacy ground truth)."""
         data = self._quantize_complex(x[_bit_reverse_permutation(self.size)])
         size = 2
         while size <= self.size:
@@ -148,12 +173,3 @@ class FixedPointFft:
             data = self._quantize_complex(data)
             size *= 2
         return data
-
-    def inverse(self, x: np.ndarray) -> np.ndarray:
-        """Fixed-point inverse FFT (scaled by ``1/size``)."""
-        x = np.asarray(x, dtype=complex)
-        if len(x) != self.size:
-            raise ValueError(f"expected a block of {self.size} samples, "
-                             f"got {len(x)}")
-        result = np.conj(self.forward(np.conj(x))) / self.size
-        return self._quantize_complex(result)

@@ -17,10 +17,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from scipy.signal import lfilter
 
-from repro.fixedpoint.quantizer import Quantizer, RoundingMode, round_half_away
+from repro.fixedpoint.quantizer import Quantizer, RoundingMode
 from repro.fixedpoint.qformat import QFormat
 from repro.lti.transfer_function import TransferFunction
+from repro.simkernel.iir import iir_df1_fixed
 
 
 @dataclass(frozen=True)
@@ -80,7 +82,6 @@ def _causal_fir(x: np.ndarray, taps: np.ndarray) -> np.ndarray:
     """
     if x.ndim == 1:
         return np.convolve(x, taps)[:len(x)]
-    from scipy.signal import lfilter
     return lfilter(taps, [1.0], x, axis=-1)
 
 
@@ -179,7 +180,6 @@ class IirFilter:
     # ------------------------------------------------------------------
     def process(self, x: np.ndarray) -> np.ndarray:
         """Double-precision filtering."""
-        from scipy.signal import lfilter
         return lfilter(self.b, self.a, np.asarray(x, dtype=float))
 
     def process_fixed_point(self, x: np.ndarray,
@@ -191,6 +191,10 @@ class IirFilter:
         precision before entering the recursive delay line, so the
         quantization error recirculates through ``1 / A(z)`` exactly as the
         analytical model assumes.
+
+        The recursion runs through the scaled-integer-domain kernels of
+        :mod:`repro.simkernel.iir` (bitwise identical to the historical
+        per-sample loop, which survives as the ``reference`` backend).
         """
         x = np.asarray(x, dtype=float)
         if config.quantize_input:
@@ -198,47 +202,5 @@ class IirFilter:
         coeff_q = config.coefficient_quantizer()
         b = coeff_q.quantize(self.b)
         a = coeff_q.quantize(self.a)
-        data_q = config.data_quantizer()
-        step = data_q.fmt.step
-
-        # The feed-forward part only involves the (fixed) input samples, so
-        # it can be accumulated exactly outside the recursion; only the
-        # recursive part needs the sample-by-sample loop because each output
-        # is quantized before being fed back.
-        feed_forward = _causal_fir(x, b)
-        feedback_taps = a[1:]
-        na = len(feedback_taps)
-        rounding = config.rounding
-        floor = np.floor
-        if x.ndim > 1:
-            # Batched trials: the recursion runs once over the sample axis
-            # with every per-sample operation vectorized across trials.
-            y = np.zeros_like(x)
-            num_samples = x.shape[-1]
-            for n in range(num_samples):
-                acc = feed_forward[..., n].copy()
-                history_start = max(0, n - na)
-                history = y[..., history_start:n][..., ::-1]
-                if history.shape[-1]:
-                    acc -= history @ feedback_taps[:history.shape[-1]]
-                if rounding is RoundingMode.TRUNCATE:
-                    y[..., n] = floor(acc / step) * step
-                elif rounding is RoundingMode.ROUND:
-                    y[..., n] = round_half_away(acc / step) * step
-                else:
-                    y[..., n] = np.rint(acc / step) * step
-            return y
-        y = np.zeros(len(x))
-        for n in range(len(x)):
-            acc = feed_forward[n]
-            history_start = max(0, n - na)
-            history = y[history_start:n][::-1]
-            if len(history):
-                acc -= float(np.dot(feedback_taps[:len(history)], history))
-            if rounding is RoundingMode.TRUNCATE:
-                y[n] = floor(acc / step) * step
-            elif rounding is RoundingMode.ROUND:
-                y[n] = round_half_away(acc / step) * step
-            else:
-                y[n] = np.rint(acc / step) * step
-        return y
+        step = config.data_quantizer().fmt.step
+        return iir_df1_fixed(x, b, a, step, config.rounding)

@@ -21,7 +21,13 @@ provides:
 
 from repro.psd.spectrum import DiscretePsd
 from repro.psd.batch import PsdStack
-from repro.psd.estimation import estimate_psd, periodogram, welch
+from repro.psd.estimation import (
+    estimate_psd,
+    estimate_psd_batch,
+    periodogram,
+    welch,
+    welch_batched,
+)
 from repro.psd.propagation import TrackedSpectrum
 from repro.psd.cross_spectrum import cross_power_spectrum
 
@@ -29,8 +35,10 @@ __all__ = [
     "DiscretePsd",
     "PsdStack",
     "estimate_psd",
+    "estimate_psd_batch",
     "periodogram",
     "welch",
+    "welch_batched",
     "TrackedSpectrum",
     "cross_power_spectrum",
 ]

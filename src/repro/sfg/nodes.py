@@ -117,14 +117,16 @@ def _build_quantizer(fractional_bits: int, rounding: RoundingMode,
 class Node:
     """Base class of every SFG node.
 
-    ``supports_batch`` declares whether :meth:`simulate` /
-    :meth:`simulate_fixed` accept stacked stimuli — arrays whose *last*
-    axis is time and whose leading axes are independent trials.  Nodes
-    that only implement the 1-D contract leave it ``False`` and the
-    executor falls back to a per-trial loop.
+    Batched execution is part of the node contract: :meth:`simulate` and
+    :meth:`simulate_fixed` must accept stacked stimuli — arrays whose
+    *last* axis is time and whose leading axes are independent trials —
+    and vectorize over them.  The executor runs a whole Monte-Carlo
+    batch through every node in one call; there is no per-trial
+    fallback.  (``supports_batch`` is retained for introspection and is
+    always true.)
     """
 
-    supports_batch = False
+    supports_batch = True
 
     def __init__(self, name: str, num_inputs: int,
                  quantization: QuantizationSpec | None = None):
@@ -225,8 +227,6 @@ class InputNode(Node):
     experiments enters the system.
     """
 
-    supports_batch = True
-
     def __init__(self, name: str, quantization: QuantizationSpec | None = None):
         super().__init__(name, num_inputs=0, quantization=quantization)
 
@@ -246,8 +246,6 @@ class InputNode(Node):
 
 class OutputNode(Node):
     """External output of the system (identity pass-through)."""
-
-    supports_batch = True
 
     def __init__(self, name: str):
         super().__init__(name, num_inputs=1)
@@ -272,8 +270,6 @@ class OutputNode(Node):
 
 class AddNode(Node):
     """N-ary adder / subtractor with unit (or signed-unit) input gains."""
-
-    supports_batch = True
 
     def __init__(self, name: str, num_inputs: int = 2,
                  signs: list[float] | None = None,
@@ -318,8 +314,6 @@ class AddNode(Node):
 class GainNode(_LtiMixin, Node):
     """Multiplication by a constant coefficient."""
 
-    supports_batch = True
-
     def __init__(self, name: str, gain: float,
                  quantization: QuantizationSpec | None = None):
         super().__init__(name, num_inputs=1, quantization=quantization)
@@ -357,8 +351,6 @@ class GainNode(_LtiMixin, Node):
 class DelayNode(_LtiMixin, Node):
     """Pure delay of an integer number of samples."""
 
-    supports_batch = True
-
     def __init__(self, name: str, delay: int = 1):
         super().__init__(name, num_inputs=1)
         if delay < 0:
@@ -381,8 +373,6 @@ class DelayNode(_LtiMixin, Node):
 
 class FirNode(_LtiMixin, Node):
     """FIR filter block."""
-
-    supports_batch = True
 
     def __init__(self, name: str, taps,
                  quantization: QuantizationSpec | None = None):
@@ -433,8 +423,6 @@ class IirNode(_LtiMixin, Node):
     shaping to the node's own noise source.
     """
 
-    supports_batch = True
-
     def __init__(self, name: str, b, a,
                  quantization: QuantizationSpec | None = None):
         super().__init__(name, num_inputs=1, quantization=quantization)
@@ -481,8 +469,6 @@ class IirNode(_LtiMixin, Node):
 class LtiNode(_LtiMixin, Node):
     """Generic LTI block defined by an arbitrary transfer function."""
 
-    supports_batch = True
-
     def __init__(self, name: str, transfer_function: TransferFunction,
                  quantization: QuantizationSpec | None = None):
         super().__init__(name, num_inputs=1, quantization=quantization)
@@ -498,8 +484,6 @@ class LtiNode(_LtiMixin, Node):
 
 class DownsampleNode(Node):
     """Decimator (keep one sample out of ``factor``)."""
-
-    supports_batch = True
 
     def __init__(self, name: str, factor: int = 2, phase: int = 0):
         super().__init__(name, num_inputs=1)
@@ -531,8 +515,6 @@ class DownsampleNode(Node):
 
 class UpsampleNode(Node):
     """Expander (insert ``factor - 1`` zeros between samples)."""
-
-    supports_batch = True
 
     def __init__(self, name: str, factor: int = 2):
         super().__init__(name, num_inputs=1)

@@ -431,22 +431,26 @@ class CompiledPlan:
         if missing:
             raise ValueError(
                 f"missing stimulus for input node(s) {sorted(missing)}")
-        return [np.asarray(inputs[name], dtype=float)
-                for name in self.input_names]
+        slots = [np.asarray(inputs[name], dtype=float)
+                 for name in self.input_names]
+        # Batched stimuli must agree on the trial axes: a 1-D stimulus is
+        # broadcast to every trial, but two stacked stimuli with
+        # different leading shapes would silently mis-pair trials inside
+        # the vectorized nodes.
+        leading = {slot.shape[:-1] for slot in slots if slot.ndim > 1}
+        if len(leading) > 1:
+            raise ValueError(
+                "batched stimuli disagree on the trial axes: "
+                f"{sorted(leading)}")
+        return slots
 
     @staticmethod
     def _simulate(node: Node, node_inputs: list, fixed: bool) -> np.ndarray:
+        # Every node type vectorizes over leading trial axes (the batch
+        # contract of repro.sfg.nodes.Node), so there is no row-wise
+        # fallback: one call runs the whole stack.
         compute = node.simulate_fixed if fixed else node.simulate
-        batched = any(np.ndim(x) > 1 for x in node_inputs)
-        if not batched or node.supports_batch:
-            return compute(node_inputs)
-        # Row-wise fallback for nodes without a vectorized trial axis.
-        trials = max(np.shape(x)[0] for x in node_inputs if np.ndim(x) > 1)
-        rows = []
-        for trial in range(trials):
-            rows.append(compute([x[trial] if np.ndim(x) > 1 else x
-                                 for x in node_inputs]))
-        return np.stack(rows)
+        return compute(node_inputs)
 
     def run(self, inputs: dict, mode: str = "double",
             keep_signals: bool = False):

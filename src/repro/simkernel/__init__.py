@@ -1,0 +1,37 @@
+"""Fast bit-true simulation kernels.
+
+This package is the performance layer of the bit-true simulation path:
+scaled-integer-domain IIR recursion kernels (:mod:`repro.simkernel.iir`),
+vectorized fixed-point FFT butterflies and overlap-save framing
+(:mod:`repro.simkernel.fft`), the preserved legacy loops every kernel is
+differentially verified against (:mod:`repro.simkernel.reference`), and
+the backend selection machinery (:mod:`repro.simkernel.backend`):
+``reference`` (legacy loops), ``numpy`` (always available, bitwise
+identical to the reference by construction) and ``numba`` (optional JIT,
+auto-detected).  Force a backend with ``REPRO_SIMD_BACKEND`` or
+:func:`use_backend`.
+"""
+
+from repro.simkernel.backend import (
+    BACKEND_ENV,
+    available_backends,
+    default_backend,
+    get_backend,
+    numba_available,
+    resolve_backend,
+    set_backend,
+    use_backend,
+)
+from repro.simkernel.iir import iir_df1_fixed
+
+__all__ = [
+    "BACKEND_ENV",
+    "available_backends",
+    "default_backend",
+    "get_backend",
+    "iir_df1_fixed",
+    "numba_available",
+    "resolve_backend",
+    "set_backend",
+    "use_backend",
+]

@@ -1,0 +1,80 @@
+"""Optional Numba JIT kernels for the serial IIR feedback recursion.
+
+Numba is a *soft* dependency: this module compiles lazily on first use
+and degrades to ``None`` (the caller then runs the NumPy kernels) when
+numba is absent or compilation fails for any reason.  Nothing here is
+imported at package import time.
+
+The jitted recursion accumulates the feedback dot product as a plain
+sequential scalar loop (individually rounded products, left-to-right
+additions, no FMA contraction — numba does not enable fast-math by
+default).  In the fixed-point regimes this library simulates, every
+product and partial sum is an exact multiple of the common quantization
+step that fits in a double's 53-bit significand, so the sum is *exact*
+and therefore independent of accumulation order — which is why this
+kernel is bitwise identical to the BLAS-backed NumPy kernel (the
+``backend_equality`` differential check asserts exactly that on fuzzed
+graphs).  The claim is conditional: outside that domain — diverging
+filters or simultaneous deep data/coefficient words whose accumulators
+leave the 53-bit-exact range while staying finite — accumulation order
+matters again and the backends may differ in the last bit; that is
+exactly what the differential check (and the benches' bitwise guard)
+exist to catch empirically on any platform where numba runs.  See
+ARCHITECTURE.md, "Simulation engine", for the word-length bound.
+"""
+
+from __future__ import annotations
+
+_STATE: dict = {"kernel": None, "failed": False}
+
+
+def _compile():
+    import math
+
+    import numba
+    import numpy as np
+
+    @numba.njit(cache=False)
+    def iir_df1_scaled(scaled_ff, feedback_taps, mode):
+        trials, num_samples = scaled_ff.shape
+        na = feedback_taps.shape[0]
+        mantissas = np.zeros((trials, num_samples))
+        for t in range(trials):
+            for n in range(num_samples):
+                acc = scaled_ff[t, n]
+                limit = na if n >= na else n
+                for j in range(limit):
+                    acc -= feedback_taps[j] * mantissas[t, n - 1 - j]
+                if mode == 0:
+                    value = math.floor(acc)
+                elif mode == 1:
+                    value = math.copysign(math.floor(abs(acc) + 0.5), acc)
+                else:
+                    # Round half to even, spelled out from floor: the
+                    # fractional part x - floor(x) is exact for doubles.
+                    low = math.floor(acc)
+                    fraction = acc - low
+                    if fraction > 0.5:
+                        value = low + 1.0
+                    elif fraction < 0.5:
+                        value = low
+                    elif low % 2.0 == 0.0:
+                        value = low
+                    else:
+                        value = low + 1.0
+                mantissas[t, n] = value
+        return mantissas
+
+    # Force compilation now so failures surface here, not mid-simulation.
+    iir_df1_scaled(np.zeros((1, 4)), np.zeros(2), 1)
+    return iir_df1_scaled
+
+
+def get_kernel():
+    """The jitted recursion kernel, or ``None`` when numba is unusable."""
+    if _STATE["kernel"] is None and not _STATE["failed"]:
+        try:
+            _STATE["kernel"] = _compile()
+        except Exception:  # noqa: BLE001 - soft dependency, never fatal
+            _STATE["failed"] = True
+    return _STATE["kernel"]

@@ -1,0 +1,105 @@
+"""Backend selection for the simulation kernel layer.
+
+Three backends implement the bit-true kernels:
+
+* ``reference`` — the original per-sample / per-block Python loops,
+  preserved verbatim (:mod:`repro.simkernel.reference` and the
+  ``*_reference`` paths of the FFT and overlap-save engines).  Slow, but
+  the ground truth every other backend is differentially verified
+  against.
+* ``numpy`` — vectorized scaled-integer-domain kernels.  Always
+  available, bitwise identical to ``reference`` by construction (see
+  ARCHITECTURE.md, "Simulation engine").
+* ``numba`` — JIT-compiled scalar kernels for the inherently serial IIR
+  feedback recursion.  A soft dependency: auto-detected at import time
+  and silently unavailable when :mod:`numba` is not installed; the numpy
+  kernels are the fallback for everything the JIT does not cover.
+
+The active backend is resolved, in priority order, from
+
+1. an explicit :func:`set_backend` / :func:`use_backend` override,
+2. the ``REPRO_SIMD_BACKEND`` environment variable,
+3. the default: ``numba`` when importable, ``numpy`` otherwise.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+from contextlib import contextmanager
+
+#: Environment variable forcing a backend for the whole process.
+BACKEND_ENV = "REPRO_SIMD_BACKEND"
+
+#: Backends that are always implemented (numba is appended when found).
+_ALWAYS_AVAILABLE = ("reference", "numpy")
+
+_forced: str | None = None
+_numba_available: bool | None = None
+
+
+def numba_available() -> bool:
+    """Whether the optional :mod:`numba` dependency is importable."""
+    global _numba_available
+    if _numba_available is None:
+        _numba_available = importlib.util.find_spec("numba") is not None
+    return _numba_available
+
+
+def available_backends() -> tuple[str, ...]:
+    """The backends usable in this process, reference first."""
+    if numba_available():
+        return _ALWAYS_AVAILABLE + ("numba",)
+    return _ALWAYS_AVAILABLE
+
+
+def default_backend() -> str:
+    """The backend used when nothing forces a choice."""
+    return "numba" if numba_available() else "numpy"
+
+
+def _validate(name: str) -> str:
+    name = str(name).lower()
+    if name not in _ALWAYS_AVAILABLE + ("numba",):
+        raise ValueError(
+            f"unknown simulation backend {name!r}; expected one of "
+            f"{_ALWAYS_AVAILABLE + ('numba',)}")
+    if name == "numba" and not numba_available():
+        raise ValueError(
+            "the numba backend was requested but numba is not installed")
+    return name
+
+
+def get_backend() -> str:
+    """Resolve the active backend (override > environment > default)."""
+    if _forced is not None:
+        return _forced
+    env = os.environ.get(BACKEND_ENV, "").strip()
+    if env:
+        return _validate(env)
+    return default_backend()
+
+
+def set_backend(name: str | None) -> None:
+    """Force a backend for the process (``None`` restores auto-selection)."""
+    global _forced
+    _forced = None if name is None else _validate(name)
+
+
+@contextmanager
+def use_backend(name: str | None):
+    """Context manager forcing a backend for the duration of a block."""
+    global _forced
+    saved = _forced
+    _forced = None if name is None else _validate(name)
+    try:
+        yield
+    finally:
+        _forced = saved
+
+
+def resolve_backend(name: str | None = None) -> str:
+    """Validate an explicit backend name, or resolve the active one."""
+    if name is None:
+        return get_backend()
+    return _validate(name)

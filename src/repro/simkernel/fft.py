@@ -1,0 +1,114 @@
+"""Vectorized radix-2 FFT butterflies and overlap-save block framing.
+
+The bit-true fixed-point FFT quantizes every butterfly stage, so it
+cannot be delegated to an off-the-shelf FFT — but its *structure* is
+fully data-parallel: within one stage every butterfly group applies the
+same elementwise complex multiply/add to disjoint slices, and separate
+blocks (and Monte-Carlo trials) are completely independent.  The kernels
+here therefore run one stage as a single reshaped array operation over
+``(..., groups, size)`` and accept arbitrary leading batch axes, turning
+the legacy triple loop (blocks x stages x groups) into ``log2(n)`` array
+passes.  Every operation is elementwise, so the results are bitwise
+identical to the per-block loops (asserted in ``tests/test_simkernel.py``).
+
+The framing helpers cut a signal into the overlapping blocks of the
+overlap-save convolution scheme and reassemble the valid output region,
+again over arbitrary leading trial axes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def bit_reverse_permutation(n: int) -> np.ndarray:
+    """Indices of the bit-reversal permutation of length ``n``."""
+    bits = int(np.log2(n))
+    indices = np.arange(n)
+    reversed_indices = np.zeros(n, dtype=int)
+    for bit in range(bits):
+        reversed_indices |= ((indices >> bit) & 1) << (bits - 1 - bit)
+    return reversed_indices
+
+
+def fixed_fft_forward(x: np.ndarray, size: int, twiddles: dict,
+                      quantize) -> np.ndarray:
+    """Fixed-point forward FFT over the last axis of ``x``.
+
+    Parameters
+    ----------
+    x:
+        Blocks of shape ``(..., size)``; leading axes are independent
+        transforms.
+    size:
+        Transform size (power of two).
+    twiddles:
+        Mapping from butterfly size to the quantized twiddle factors of
+        that stage (as pre-built by the FFT engine).
+    quantize:
+        Callable quantizing a complex array elementwise (applied to the
+        input and after every stage, as in the bit-true engine).
+    """
+    data = np.asarray(x, dtype=complex)[..., bit_reverse_permutation(size)]
+    data = quantize(data)
+    stage = 2
+    while stage <= size:
+        half = stage // 2
+        grouped = data.reshape(data.shape[:-1] + (size // stage, stage))
+        top = grouped[..., :half].copy()
+        bottom = grouped[..., half:] * twiddles[stage]
+        grouped[..., :half] = top + bottom
+        grouped[..., half:] = top - bottom
+        data = quantize(data)
+        stage *= 2
+    return data
+
+
+def fixed_fft_inverse(x: np.ndarray, size: int, twiddles: dict,
+                      quantize) -> np.ndarray:
+    """Fixed-point inverse FFT (scaled by ``1/size``) over the last axis."""
+    x = np.asarray(x, dtype=complex)
+    result = np.conj(fixed_fft_forward(np.conj(x), size, twiddles,
+                                       quantize)) / size
+    return quantize(result)
+
+
+# ----------------------------------------------------------------------
+# Overlap-save framing
+# ----------------------------------------------------------------------
+def overlap_save_blocks(x: np.ndarray, taps_len: int,
+                        fft_size: int) -> tuple[np.ndarray, int]:
+    """Cut ``x`` into the overlapping blocks of the overlap-save scheme.
+
+    Returns ``(blocks, hop)`` where ``blocks`` has shape
+    ``(..., num_blocks, fft_size)`` — each block advanced by ``hop``
+    samples, prefixed with the ``taps_len - 1`` history samples (zeros
+    for the causal start) exactly as the streaming loop would see them.
+    """
+    x = np.asarray(x, dtype=float)
+    hop = fft_size - taps_len + 1
+    if hop < 1:
+        raise ValueError(f"{taps_len} taps do not fit in an FFT of size "
+                         f"{fft_size}")
+    num_samples = x.shape[-1]
+    num_blocks = -(-num_samples // hop)
+    lead = x.shape[:-1]
+    padded_len = taps_len - 1 + (num_blocks - 1) * hop + fft_size
+    padded = np.zeros(lead + (padded_len,))
+    padded[..., taps_len - 1:taps_len - 1 + num_samples] = x
+    starts = np.arange(num_blocks) * hop
+    index = starts[:, None] + np.arange(fft_size)[None, :]
+    return padded[..., index], hop
+
+
+def overlap_save_assemble(result: np.ndarray, taps_len: int, hop: int,
+                          num_samples: int) -> np.ndarray:
+    """Reassemble the valid region of per-block results into one stream.
+
+    ``result`` has shape ``(..., num_blocks, fft_size)``; the aliased
+    first ``taps_len - 1`` samples of each block are discarded and the
+    ``hop`` new samples are concatenated, truncated to ``num_samples``.
+    """
+    valid = result[..., :, taps_len - 1:taps_len - 1 + hop]
+    stream = valid.reshape(valid.shape[:-2] + (-1,))
+    return np.ascontiguousarray(stream[..., :num_samples])

@@ -39,6 +39,8 @@ from repro.fixedpoint.quantizer import Quantizer, RoundingMode
 from repro.fixedpoint.qformat import QFormat
 from repro.lti.convolution import overlap_save
 from repro.lti.fft import FixedPointFft
+from repro.simkernel.backend import resolve_backend
+from repro.simkernel.fft import overlap_save_assemble, overlap_save_blocks
 from repro.lti.fir_design import design_fir_highpass, design_fir_lowpass
 from repro.sfg.builder import SfgBuilder
 from repro.sfg.executor import SfgExecutor
@@ -64,10 +66,6 @@ class FrequencyDomainFirNode(FirNode):
         the paper where all fractional word lengths are set to ``d``).
     """
 
-    # The overlap-save pipeline below is written for a single 1-D record;
-    # batched executions fall back to the executor's per-trial loop.
-    supports_batch = False
-
     def __init__(self, name: str, taps, fft_size: int = 16,
                  quantization: QuantizationSpec | None = None):
         super().__init__(name, taps, quantization=quantization)
@@ -80,26 +78,70 @@ class FrequencyDomainFirNode(FirNode):
     # Simulation
     # ------------------------------------------------------------------
     def simulate(self, inputs: list[np.ndarray]) -> np.ndarray:
-        """Reference behaviour: exact overlap-save with the quantized taps."""
+        """Reference behaviour: exact overlap-save with the quantized taps.
+
+        Leading axes of the stimulus are independent trials; every trial
+        runs through the (vectorized) overlap-save engine in one pass.
+        """
         (x,) = inputs
+        x = np.asarray(x, dtype=float)
         taps = self._effective_transfer_function().b
-        return overlap_save(np.asarray(x, dtype=float), taps, self.fft_size)
+        if resolve_backend() == "reference":
+            # The streaming loop is 1-D; replay it per trial.
+            return self._map_trials(
+                lambda row: overlap_save(row, taps, self.fft_size), x)
+        return overlap_save(x, taps, self.fft_size)
 
     def simulate_fixed(self, inputs: list[np.ndarray]) -> np.ndarray:
-        """Bit-true behaviour: fixed-point FFT / multiply / IFFT pipeline."""
+        """Bit-true behaviour: fixed-point FFT / multiply / IFFT pipeline.
+
+        All overlap-save blocks (and all trials of a batched stimulus) go
+        through the butterfly stages together; the ``reference`` backend
+        replays the original streaming per-block loop instead.  Both are
+        bitwise identical.
+        """
         (x,) = inputs
         x = np.asarray(x, dtype=float)
         if not self.quantization.enabled:
             return self.simulate(inputs)
+        if resolve_backend() == "reference":
+            return self._map_trials(self._simulate_fixed_reference, x)
 
-        d = self.quantization.fractional_bits
-        rounding = self.quantization.rounding
-        data_quantizer = Quantizer(QFormat(15, d), rounding=rounding)
+        data_quantizer, coeff_quantizer = self._pipeline_quantizers()
+        taps, h_spectrum = self._quantized_spectrum(coeff_quantizer)
+        engine = FixedPointFft(self.fft_size, self.quantization.fractional_bits,
+                               rounding=self.quantization.rounding)
+        blocks, hop = overlap_save_blocks(x, len(taps), self.fft_size)
+        spectra = engine.forward(blocks)
+        product = spectra * h_spectrum
+        product = (data_quantizer.quantize(product.real)
+                   + 1j * data_quantizer.quantize(product.imag))
+        result = np.real(engine.inverse(product))
+        output = overlap_save_assemble(result, len(taps), hop, x.shape[-1])
+        return data_quantizer.quantize(output)
+
+    # ------------------------------------------------------------------
+    # Pipeline pieces
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _map_trials(function, x: np.ndarray) -> np.ndarray:
+        """Apply a 1-D pipeline to every trial of a stacked stimulus."""
+        if x.ndim == 1:
+            return function(x)
+        flat = x.reshape(-1, x.shape[-1])
+        return np.stack([function(row) for row in flat]).reshape(x.shape)
+
+    def _pipeline_quantizers(self) -> tuple[Quantizer, Quantizer]:
+        data_quantizer = Quantizer(
+            QFormat(15, self.quantization.fractional_bits),
+            rounding=self.quantization.rounding)
         # Coefficients (time-domain taps and their spectrum) are design-time
         # constants shared with the reference path, hence round-to-nearest.
         coeff_quantizer = Quantizer(QFormat(15, self.quantization.coeff_bits),
                                     rounding=RoundingMode.ROUND)
+        return data_quantizer, coeff_quantizer
 
+    def _quantized_spectrum(self, coeff_quantizer: Quantizer):
         taps = coeff_quantizer.quantize(self.taps)
         n = self.fft_size
         h_padded = np.concatenate([taps, np.zeros(n - len(taps))])
@@ -108,8 +150,15 @@ class FrequencyDomainFirNode(FirNode):
         # once to the coefficient precision.
         h_spectrum = (coeff_quantizer.quantize(h_spectrum.real)
                       + 1j * coeff_quantizer.quantize(h_spectrum.imag))
+        return taps, h_spectrum
 
-        engine = FixedPointFft(n, d, rounding=rounding)
+    def _simulate_fixed_reference(self, x: np.ndarray) -> np.ndarray:
+        """The original streaming per-block pipeline (legacy ground truth)."""
+        data_quantizer, coeff_quantizer = self._pipeline_quantizers()
+        taps, h_spectrum = self._quantized_spectrum(coeff_quantizer)
+        n = self.fft_size
+        engine = FixedPointFft(n, self.quantization.fractional_bits,
+                               rounding=self.quantization.rounding)
         hop = n - len(taps) + 1
         padded = np.concatenate([np.zeros(len(taps) - 1), x, np.zeros(n)])
         output = np.zeros(len(x) + n)

@@ -8,7 +8,7 @@ CLI subcommand:
 
 * :mod:`~repro.verify.legacy` — the naive pre-compiled-plan reference
   traversals (the semantics every engine must reproduce bitwise);
-* :mod:`~repro.verify.differential` — the four differential checks on
+* :mod:`~repro.verify.differential` — the five differential checks on
   one graph: serialization round-trip, plan-vs-legacy bitwise
   equivalence, batched-vs-sequential equality and the analytical-vs-
   simulation ``Ed`` band;

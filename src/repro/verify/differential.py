@@ -1,6 +1,6 @@
 """Cross-engine differential verification of one signal-flow graph.
 
-One graph, four independent consistency obligations — exactly the
+One graph, five independent consistency obligations — exactly the
 contracts the fixture suites pin on the hand-built systems, generalized
 so they can be asserted on *any* graph (in particular the seeded random
 graphs of :mod:`repro.systems.random_graphs`):
@@ -11,10 +11,15 @@ graphs of :mod:`repro.systems.random_graphs`):
    compiled plan is *bitwise identical* to the naive per-call traversal
    (:mod:`repro.verify.legacy`): the PSD and moments walks, the flat and
    tracked engines (single-rate graphs) and both simulation modes;
-3. **batch_vs_sequential** — the configuration-batched evaluation paths
+3. **backend_equality** — the bit-true simulation produces identical
+   bits under every available simulation-kernel backend
+   (:mod:`repro.simkernel`): the preserved legacy per-sample loops
+   (``reference``), the vectorized scaled-integer kernels (``numpy``)
+   and, when installed, the Numba JIT kernels;
+4. **batch_vs_sequential** — the configuration-batched evaluation paths
    equal the sequential requantize-and-evaluate loop, row for row, bit
    for bit (analytical engines and the Monte-Carlo reference);
-4. **ed_band** — the proposed PSD estimate tracks the Monte-Carlo
+5. **ed_band** — the proposed PSD estimate tracks the Monte-Carlo
    measurement within the paper's sub-one-bit ``Ed`` band
    ``(-300 %, +75 %)``.
 
@@ -58,9 +63,9 @@ from repro.verify.legacy import (
     legacy_tracked,
 )
 
-#: The four differential obligations, in the order they are run.
-CHECK_NAMES = ("round_trip", "plan_vs_legacy", "batch_vs_sequential",
-               "ed_band")
+#: The five differential obligations, in the order they are run.
+CHECK_NAMES = ("round_trip", "plan_vs_legacy", "backend_equality",
+               "batch_vs_sequential", "ed_band")
 
 
 @dataclass(frozen=True)
@@ -118,7 +123,7 @@ def _stimulus(graph: SignalFlowGraph, samples: int, seed: int) -> dict:
 
 
 # ----------------------------------------------------------------------
-# The four checks
+# The five checks
 # ----------------------------------------------------------------------
 def _check_round_trip(graph, plan, **options):
     data = graph_to_dict(graph)
@@ -166,6 +171,25 @@ def _check_plan_vs_legacy(graph, plan, *, samples, seed, n_psd, **options):
                  f"{mode}-precision simulation differs from the legacy "
                  "traversal")
     return "all engines bitwise identical to the legacy traversals"
+
+
+def _check_backend_equality(graph, plan, *, samples, seed, **options):
+    from repro.simkernel import available_backends, use_backend
+
+    stimulus = _stimulus(graph, samples, seed)
+    executor = SfgExecutor(plan)
+    outputs = {}
+    for backend in available_backends():
+        with use_backend(backend):
+            outputs[backend] = executor.run(stimulus, mode="fixed").output(None)
+    baseline = outputs["numpy"]
+    for backend, output in outputs.items():
+        _require(output.shape == baseline.shape
+                 and np.array_equal(output, baseline),
+                 f"{backend} backend differs bitwise from the numpy "
+                 "kernels")
+    return (f"{len(outputs)} backends bitwise identical "
+            f"({', '.join(outputs)})")
 
 
 def _check_batch_vs_sequential(graph, plan, *, samples, seed, n_psd,
@@ -231,6 +255,7 @@ def _check_ed_band(graph, plan, *, seed, n_psd, ed_samples,
 _CHECKS = {
     "round_trip": _check_round_trip,
     "plan_vs_legacy": _check_plan_vs_legacy,
+    "backend_equality": _check_backend_equality,
     "batch_vs_sequential": _check_batch_vs_sequential,
     "ed_band": _check_ed_band,
 }

@@ -1,0 +1,132 @@
+"""Unit coverage of the perf-regression harness (:mod:`repro.bench`).
+
+The CLI smoke tests drive one bench end to end; this suite pins the
+pieces individually — schema writer/loader, registry filtering, the
+baseline comparison rules (missing measurements, optional numba floors)
+and each registered benchmark on a reduced workload, including the
+bitwise-identity guard that refuses to report a speedup for a kernel
+that drifted.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA,
+    bench_entries,
+    bench_payload,
+    bench_sim_engine_ff,
+    bench_sim_engine_iir,
+    bench_welch_psd,
+    check_against_baseline,
+    load_baseline,
+    load_bench_json,
+    write_bench_json,
+)
+from repro.simkernel import numba_available
+
+
+class TestSchema:
+    def test_payload_round_trip(self, tmp_path):
+        payload = bench_payload(
+            "demo", workload={"samples": 8}, seconds={"a": 1.5},
+            speedup={"x": 2.0}, tags=("t2", "t1"), mode="reduced")
+        path = write_bench_json(tmp_path, payload)
+        assert path.name == "BENCH_demo.json"
+        loaded = load_bench_json(path)
+        assert loaded == payload
+        assert loaded["tags"] == ["t1", "t2"]
+        assert loaded["schema"] == BENCH_SCHEMA
+
+    def test_unsupported_schema_rejected(self, tmp_path):
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text(json.dumps({"schema": 99, "name": "bad"}))
+        with pytest.raises(ValueError, match="unsupported bench schema"):
+            load_bench_json(path)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"schema": 99}))
+        with pytest.raises(ValueError, match="unsupported baseline schema"):
+            load_baseline(baseline)
+
+
+class TestRegistry:
+    def test_every_entry_is_tagged_and_described(self):
+        entries = bench_entries()
+        assert {entry.name for entry in entries} >= {
+            "sim_engine_ff", "sim_engine_iir", "welch_psd"}
+        for entry in entries:
+            assert entry.tags and entry.description
+
+    def test_tag_and_name_filters(self):
+        assert all("sim" in entry.tags
+                   for entry in bench_entries(tags=["sim"]))
+        only = bench_entries(names=["welch_psd"])
+        assert [entry.name for entry in only] == ["welch_psd"]
+        with pytest.raises(ValueError, match="unknown benchmark"):
+            bench_entries(names=["nope"])
+
+
+class TestBaselineComparison:
+    def test_pass_fail_and_missing_measurement(self):
+        payloads = [bench_payload("b1", workload={}, seconds={},
+                                  speedup={"k": 3.0})]
+        baseline = {"schema": 1, "floors": {"b1": {"k": 2.0}}}
+        assert check_against_baseline(payloads, baseline) == []
+        baseline["floors"]["b1"]["k"] = 4.0
+        assert len(check_against_baseline(payloads, baseline)) == 1
+        baseline["floors"]["b1"] = {"other": 1.0}
+        regressions = check_against_baseline(payloads, baseline)
+        assert regressions and "no measurement" in regressions[0]
+
+    def test_unselected_registered_bench_is_not_a_regression(self):
+        payloads = [bench_payload("b1", workload={}, seconds={},
+                                  speedup={"k": 3.0})]
+        baseline = {"schema": 1,
+                    "floors": {"welch_psd": {"welch": 99.0}}}
+        assert check_against_baseline(payloads, baseline) == []
+
+    def test_unknown_baseline_name_is_a_regression(self):
+        # A floor whose benchmark no longer exists in the registry would
+        # otherwise never be evaluated again — that must fail loudly.
+        payloads = [bench_payload("b1", workload={}, seconds={},
+                                  speedup={"k": 3.0})]
+        baseline = {"schema": 1, "floors": {"renamed_bench": {"k": 1.0}}}
+        regressions = check_against_baseline(payloads, baseline)
+        assert regressions and "unknown benchmark" in regressions[0]
+
+    def test_numba_floor_skipped_when_numba_absent(self):
+        payloads = [bench_payload("b1", workload={}, seconds={},
+                                  speedup={})]
+        baseline = {"schema": 1,
+                    "floors": {"b1": {"speed_numba": 2.0}}}
+        regressions = check_against_baseline(payloads, baseline)
+        if numba_available():
+            assert regressions  # backend present, measurement required
+        else:
+            assert regressions == []
+
+
+class TestRegisteredBenches:
+    @pytest.mark.parametrize("function, key", [
+        (bench_sim_engine_ff, "bit_true_simulation"),
+        (bench_sim_engine_iir, "single_stream"),
+        (bench_welch_psd, "welch"),
+    ])
+    def test_reduced_workload_produces_valid_payload(self, function, key):
+        payload = function(samples=2000)
+        assert payload["schema"] == BENCH_SCHEMA
+        assert payload["speedup"][key] > 0.0
+        assert all(value >= 0.0 for value in payload["seconds"].values())
+
+    def test_bitwise_guard_refuses_broken_kernels(self, monkeypatch):
+        from repro import bench as bench_module
+
+        original = np.array_equal
+        monkeypatch.setattr(
+            bench_module.np, "array_equal",
+            lambda *args, **kwargs: False)
+        with pytest.raises(RuntimeError, match="not bitwise identical"):
+            bench_sim_engine_iir(samples=1000)
+        assert original(np.arange(3), np.arange(3))

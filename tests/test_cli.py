@@ -1,12 +1,15 @@
 """Smoke coverage of every CLI subcommand, plus seeded determinism.
 
-Each of the seven subcommands runs end to end (in process, against a tmp
+Each of the eight subcommands runs end to end (in process, against a tmp
 dir) asserting its exit code, and then runs *again* with the same
 ``--seed`` asserting byte-identical output.  Wall-clock timings are the
 single intentionally nondeterministic element of the CLI output
 (``evaluation time`` / ``campaign time`` lines and the trailing ``ms``
 table column), so the determinism comparison masks exactly those and
-nothing else.
+nothing else.  The ``bench`` subcommand is inherently a measurement, so
+only its ``--list`` output takes part in the byte-identical comparison;
+its run/check paths are asserted structurally (files, schema, exit
+codes) instead.
 """
 
 import json
@@ -131,6 +134,41 @@ class TestSubcommandSmoke:
         assert code == 0
         assert "random" in out and "table1_fir" in out
 
+    def test_bench_list(self, capsys):
+        out = _assert_deterministic(capsys, ["bench", "--list"])
+        assert "sim_engine_ff" in out
+        assert "welch_psd" in out
+
+    def test_bench_run_writes_schema_files_and_checks_baseline(
+            self, capsys, tmp_path):
+        results = tmp_path / "results"
+        passing = tmp_path / "pass.json"
+        passing.write_text(json.dumps({
+            "schema": 1,
+            "floors": {"sim_engine_iir": {"single_stream": 0.0001}}}))
+        code, out = _run(capsys, [
+            "bench", "--names", "sim_engine_iir", "--samples", "2000",
+            "--results", str(results), "--check",
+            "--baseline", str(passing)])
+        assert code == 0, out
+        payload = json.loads(
+            (results / "BENCH_sim_engine_iir.json").read_text())
+        assert payload["schema"] == 1
+        assert payload["workload"]["samples"] == 2000
+        assert payload["speedup"]["single_stream"] > 0.0
+        assert "at or above every baseline floor" in out
+
+        failing = tmp_path / "fail.json"
+        failing.write_text(json.dumps({
+            "schema": 1,
+            "floors": {"sim_engine_iir": {"single_stream": 1e9}}}))
+        code = main(["bench", "--names", "sim_engine_iir",
+                     "--samples", "2000", "--results", str(results),
+                     "--check", "--baseline", str(failing)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "REGRESSION sim_engine_iir.single_stream" in captured.err
+
     def test_fuzz(self, capsys, tmp_path):
         argv = ["fuzz", "--count", "2", "--seed", "0", "--blocks", "4",
                 "--samples", "1152", "--ed-samples", "4608",
@@ -152,6 +190,17 @@ class TestErrorPaths:
         code = main(["campaign", "--scenarios", "not_a_family"])
         assert code == 1
         assert "unknown scenario" in capsys.readouterr().err
+
+    def test_bench_rejects_unknown_name_and_tiny_samples(self, capsys):
+        code = main(["bench", "--names", "no_such_bench"])
+        assert code == 1
+        assert "unknown benchmark" in capsys.readouterr().err
+        code = main(["bench", "--samples", "8"])
+        assert code == 1
+        assert "--samples" in capsys.readouterr().err
+        code = main(["bench", "--tags", "no-such-tag"])
+        assert code == 1
+        assert "no registered benchmark" in capsys.readouterr().err
 
     def test_fuzz_rejects_non_positive_count(self, capsys):
         code = main(["fuzz", "--count", "0"])

@@ -1,0 +1,430 @@
+"""Bit-exactness and backend coverage of the simulation kernel layer.
+
+The contract of :mod:`repro.simkernel` is absolute: the optimized kernels
+must reproduce the preserved legacy loops *bit for bit* — not close, not
+within a tolerance.  This suite pins that contract as a matrix over
+
+* rounding modes (TRUNCATE / ROUND / CONVERGENT),
+* filter structures (FIR, direct-form IIR, SOS biquad cascades, the
+  frequency-domain overlap-save FIR),
+* stimulus shapes (single stream and stacked Monte-Carlo trials),
+* extreme Q-formats (1 fractional bit, deep fractional words, inputs
+  pushed to the saturation edge of the Q15 range),
+
+plus the backend selection machinery itself (env var, context manager,
+numba auto-detection) and the vectorized Welch estimator against its
+per-segment reference loop.
+"""
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.data.signals import uniform_white_noise
+from repro.fixedpoint.quantizer import RoundingMode
+from repro.lti.fft import FixedPointFft
+from repro.lti.filters import FirFilter, FixedPointFilterConfig, IirFilter
+from repro.lti.iir_design import design_iir_filter
+from repro.lti.sos import build_direct_form_graph, build_sos_graph
+from repro.psd.estimation import (
+    _welch_reference,
+    estimate_psd,
+    estimate_psd_batch,
+    welch,
+    welch_batched,
+)
+from repro.sfg.executor import SfgExecutor
+from repro.simkernel import (
+    available_backends,
+    default_backend,
+    get_backend,
+    iir_df1_fixed,
+    numba_available,
+    resolve_backend,
+    set_backend,
+    use_backend,
+)
+from repro.simkernel.reference import iir_df1_reference
+from repro.systems.freq_filter import FrequencyDomainFirNode
+
+MODES = (RoundingMode.TRUNCATE, RoundingMode.ROUND, RoundingMode.CONVERGENT)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+def _iir_coefficients(order: int):
+    b, a = design_iir_filter(order, 0.3, "lowpass", "butterworth")
+    return np.asarray(b), np.asarray(a)
+
+
+# ----------------------------------------------------------------------
+# IIR kernels vs the legacy per-sample loop
+# ----------------------------------------------------------------------
+class TestIirKernelBitExactness:
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize("fractional_bits", [1, 8, 12, 24])
+    @pytest.mark.parametrize("batched", [False, True])
+    def test_matrix_vs_reference_loop(self, rng, mode, fractional_bits,
+                                      batched):
+        b, a = _iir_coefficients(3)
+        step = 2.0 ** -fractional_bits
+        shape = (5, 600) if batched else (1500,)
+        x = rng.uniform(-0.9, 0.9, shape)
+        expected = iir_df1_reference(x, b, a, step, mode)
+        result = iir_df1_fixed(x, b, a, step, mode, backend="numpy")
+        assert np.array_equal(result, expected)
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_saturation_edge_stimulus(self, rng, mode):
+        # Inputs pushed to the edge of the Q15 range: large accumulator
+        # magnitudes exercise the mantissa arithmetic far from the
+        # comfortable unit-amplitude regime.
+        b, a = _iir_coefficients(2)
+        step = 2.0 ** -10
+        x = rng.uniform(-1.0, 1.0, 900) * (2.0 ** 14)
+        expected = iir_df1_reference(x, b, a, step, mode)
+        result = iir_df1_fixed(x, b, a, step, mode, backend="numpy")
+        assert np.array_equal(result, expected)
+
+    def test_pure_feed_forward_fast_path(self, rng):
+        # len(a) == 1: the recursion disappears and the kernel collapses
+        # to one vectorized rounding pass — still bit-identical.
+        b = rng.standard_normal(7)
+        a = np.array([1.0])
+        x = rng.uniform(-0.9, 0.9, 500)
+        for mode in MODES:
+            expected = iir_df1_reference(x, b, a, 2.0 ** -12, mode)
+            result = iir_df1_fixed(x, b, a, 2.0 ** -12, mode,
+                                   backend="numpy")
+            assert np.array_equal(result, expected)
+
+    def test_filter_object_matches_reference_backend(self, rng):
+        iir = IirFilter(*_iir_coefficients(4))
+        x = rng.uniform(-0.9, 0.9, 1200)
+        config = FixedPointFilterConfig(data_fractional_bits=12,
+                                        rounding=RoundingMode.ROUND)
+        with use_backend("numpy"):
+            fast = iir.process_fixed_point(x, config)
+        with use_backend("reference"):
+            slow = iir.process_fixed_point(x, config)
+        assert np.array_equal(fast, slow)
+
+    def test_fir_filter_unaffected_by_backend(self, rng):
+        fir = FirFilter(rng.standard_normal(9))
+        x = rng.uniform(-0.9, 0.9, (3, 400))
+        config = FixedPointFilterConfig(data_fractional_bits=10,
+                                        rounding=RoundingMode.TRUNCATE)
+        with use_backend("numpy"):
+            fast = fir.process_fixed_point(x, config)
+        with use_backend("reference"):
+            slow = fir.process_fixed_point(x, config)
+        assert np.array_equal(fast, slow)
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_sos_cascade_graph(self, mode):
+        # A cascade of biquad IirNodes runs every section through the
+        # kernel; the whole graph output must be backend-invariant.
+        b, a = design_iir_filter(6, 0.25, "lowpass", "chebyshev1")
+        graph = build_sos_graph(b, a, fractional_bits=12, rounding=mode)
+        direct = build_direct_form_graph(b, a, fractional_bits=12,
+                                         rounding=mode)
+        stimulus = {"x": uniform_white_noise(2000, seed=9)}
+        for system in (graph, direct):
+            executor = SfgExecutor(system)
+            with use_backend("numpy"):
+                fast = executor.run(stimulus, mode="fixed").output("y")
+            with use_backend("reference"):
+                slow = executor.run(stimulus, mode="fixed").output("y")
+            assert np.array_equal(fast, slow)
+
+    def test_batched_rows_equal_single_stream_runs(self, rng):
+        # The trials axis must be semantics-free: row t of the batched
+        # run equals the 1-D run on row t.
+        b, a = _iir_coefficients(3)
+        step = 2.0 ** -12
+        x = rng.uniform(-0.9, 0.9, (4, 700))
+        batched = iir_df1_fixed(x, b, a, step, RoundingMode.ROUND,
+                                backend="numpy")
+        for t in range(x.shape[0]):
+            row = iir_df1_fixed(x[t], b, a, step, RoundingMode.ROUND,
+                                backend="numpy")
+            assert np.array_equal(batched[t], row)
+
+    @pytest.mark.skipif(not numba_available(), reason="numba not installed")
+    def test_numba_backend_equals_numpy(self, rng):
+        b, a = _iir_coefficients(3)
+        step = 2.0 ** -12
+        for shape in (1200, (4, 500)):
+            x = rng.uniform(-0.9, 0.9, shape)
+            for mode in MODES:
+                fast = iir_df1_fixed(x, b, a, step, mode, backend="numba")
+                ref = iir_df1_fixed(x, b, a, step, mode, backend="numpy")
+                assert np.array_equal(fast, ref)
+
+
+# ----------------------------------------------------------------------
+# Fixed-point FFT and the overlap-save node
+# ----------------------------------------------------------------------
+class TestFixedPointFftVectorization:
+    @pytest.mark.parametrize("mode", MODES)
+    def test_batched_forward_equals_reference_loop(self, rng, mode):
+        engine = FixedPointFft(16, 12, rounding=mode)
+        blocks = rng.uniform(-1.0, 1.0, (40, 16))
+        batched = engine.forward(blocks)
+        for t in range(blocks.shape[0]):
+            assert np.array_equal(batched[t],
+                                  engine._forward_reference(
+                                      blocks[t].astype(complex)))
+
+    def test_reference_backend_routes_through_loop(self, rng):
+        engine = FixedPointFft(16, 10)
+        blocks = rng.uniform(-1.0, 1.0, (3, 16))
+        with use_backend("reference"):
+            looped = engine.forward(blocks)
+        fast = engine.forward(blocks)
+        assert np.array_equal(looped, fast)
+
+    def test_inverse_round_trip_backend_invariant(self, rng):
+        engine = FixedPointFft(16, 12)
+        spectra = (rng.uniform(-1, 1, (7, 16))
+                   + 1j * rng.uniform(-1, 1, (7, 16)))
+        fast = engine.inverse(spectra)
+        with use_backend("reference"):
+            slow = engine.inverse(spectra)
+        assert np.array_equal(fast, slow)
+
+    def test_wrong_block_length_rejected(self):
+        engine = FixedPointFft(16, 12)
+        with pytest.raises(ValueError, match="expected a block"):
+            engine.forward(np.zeros(8))
+
+
+class TestFrequencyDomainNodeVectorization:
+    def _node(self, bits=12, rounding=RoundingMode.ROUND):
+        from repro.sfg.nodes import QuantizationSpec
+        from repro.systems.freq_filter import default_frequency_domain_taps
+        return FrequencyDomainFirNode(
+            "freq", default_frequency_domain_taps(), fft_size=16,
+            quantization=QuantizationSpec(fractional_bits=bits,
+                                          rounding=rounding))
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_fixed_pipeline_matches_reference(self, mode):
+        node = self._node(rounding=mode)
+        x = uniform_white_noise(3000, seed=4)
+        fast = node.simulate_fixed([x])
+        with use_backend("reference"):
+            slow = node.simulate_fixed([x])
+        assert np.array_equal(fast, slow)
+
+    def test_batched_trials_equal_per_trial_rows(self):
+        node = self._node()
+        x = np.stack([uniform_white_noise(640, seed=20 + t)
+                      for t in range(5)])
+        batched_fixed = node.simulate_fixed([x])
+        batched_double = node.simulate([x])
+        assert batched_fixed.shape == x.shape
+        for t in range(x.shape[0]):
+            assert np.array_equal(batched_fixed[t],
+                                  node.simulate_fixed([x[t]]))
+            assert np.array_equal(batched_double[t], node.simulate([x[t]]))
+
+    def test_double_path_matches_reference_backend(self):
+        node = self._node()
+        x = uniform_white_noise(2500, seed=6)
+        fast = node.simulate([x])
+        with use_backend("reference"):
+            slow = node.simulate([x])
+        assert np.array_equal(fast, slow)
+
+    def test_supports_batch_introspection_retained(self):
+        # The attribute survives (always true) even though the executor
+        # fallback it used to gate is gone.
+        from repro.sfg.nodes import GainNode, Node
+        assert Node.supports_batch is True
+        assert GainNode("g", 2.0).supports_batch is True
+        assert self._node().supports_batch is True
+
+
+class TestOverlapSaveBatched:
+    def test_batched_rows_equal_per_row(self, rng):
+        from repro.lti.convolution import overlap_save
+        h = rng.standard_normal(5)
+        x = rng.standard_normal((4, 100))
+        batched = overlap_save(x, h, 16)
+        assert batched.shape == x.shape
+        for t in range(x.shape[0]):
+            assert np.array_equal(batched[t], overlap_save(x[t], h, 16))
+
+    def test_streaming_loop_rejects_batches(self, rng):
+        from repro.lti.convolution import overlap_save
+        h = rng.standard_normal(5)
+        x = rng.standard_normal((4, 100))
+        with pytest.raises(ValueError, match="1-D stream"):
+            overlap_save(x, h, 16, fft=np.fft.fft, ifft=np.fft.ifft)
+        with use_backend("reference"):
+            with pytest.raises(ValueError, match="1-D stream"):
+                overlap_save(x, h, 16)
+
+
+# ----------------------------------------------------------------------
+# Welch vectorization
+# ----------------------------------------------------------------------
+class TestWelchVectorization:
+    @pytest.mark.parametrize("n_bins", [32, 128, 256])
+    @pytest.mark.parametrize("overlap", [0.0, 0.5, 0.75])
+    def test_welch_equals_reference_loop(self, rng, n_bins, overlap):
+        x = rng.standard_normal(5000)
+        fast = welch(x, n_bins, overlap=overlap)
+        slow = _welch_reference(x, n_bins, overlap=overlap)
+        assert np.array_equal(fast.ac, slow.ac)
+        assert fast.mean == slow.mean
+
+    def test_short_record_zero_padding(self, rng):
+        x = rng.standard_normal(20)
+        fast = welch(x, 64)
+        slow = _welch_reference(x, 64)
+        assert np.array_equal(fast.ac, slow.ac)
+
+    def test_extreme_overlap_hop_clamp(self, rng):
+        x = rng.standard_normal(400)
+        fast = welch(x, 64, overlap=0.999)
+        slow = _welch_reference(x, 64, overlap=0.999)
+        assert np.array_equal(fast.ac, slow.ac)
+
+    def test_constant_record_is_zero_psd(self):
+        psd = welch(np.full(300, 0.25), 32)
+        assert np.all(psd.ac == 0.0)
+        assert psd.mean == 0.25
+
+    def test_batched_rows_equal_per_row_welch(self, rng):
+        records = rng.standard_normal((6, 2000))
+        batch = welch_batched(records, 128)
+        for row, psd in zip(records, batch):
+            single = welch(row, 128)
+            assert np.array_equal(psd.ac, single.ac)
+            assert psd.mean == single.mean
+
+    def test_estimate_psd_batch_periodogram(self, rng):
+        records = rng.standard_normal((3, 700))
+        batch = estimate_psd_batch(records, 64, method="periodogram")
+        for row, psd in zip(records, batch):
+            single = estimate_psd(row, 64, method="periodogram")
+            assert np.array_equal(psd.ac, single.ac)
+
+    def test_empty_and_bad_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            welch(np.array([]), 16)
+        with pytest.raises(ValueError):
+            welch(np.ones(100), 16, overlap=1.0)
+
+    def test_memory_bounded_fallback_is_bitwise_identical(self, rng,
+                                                          monkeypatch):
+        # Extreme overlap clamps the hop to one sample — nearly one
+        # segment per sample.  Force the bounded-memory per-segment path
+        # on a small record and pin it against both the one-shot pass
+        # and the reference loop.
+        from repro.psd import estimation
+        x = rng.standard_normal(3000)
+        one_shot = welch(x, 64, overlap=0.99)
+        monkeypatch.setattr(estimation, "_MAX_ONE_SHOT_ELEMENTS", 1024)
+        looped = welch(x, 64, overlap=0.99)
+        reference = _welch_reference(x, 64, overlap=0.99)
+        assert np.array_equal(looped.ac, one_shot.ac)
+        assert np.array_equal(looped.ac, reference.ac)
+
+
+# ----------------------------------------------------------------------
+# Backend selection machinery
+# ----------------------------------------------------------------------
+class TestBackendSelection:
+    def test_default_backend_consistent_with_numba_detection(self):
+        assert default_backend() == ("numba" if numba_available()
+                                     else "numpy")
+        assert "numpy" in available_backends()
+        assert "reference" in available_backends()
+
+    def test_use_backend_restores_previous_choice(self):
+        before = get_backend()
+        with use_backend("reference"):
+            assert get_backend() == "reference"
+            with use_backend("numpy"):
+                assert get_backend() == "numpy"
+            assert get_backend() == "reference"
+        assert get_backend() == before
+
+    def test_set_backend_and_reset(self):
+        set_backend("reference")
+        try:
+            assert get_backend() == "reference"
+        finally:
+            set_backend(None)
+        assert get_backend() == default_backend()
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown simulation backend"):
+            resolve_backend("fortran")
+        with pytest.raises(ValueError):
+            set_backend("fortran")
+
+    def test_numba_request_without_numba_rejected(self):
+        if numba_available():
+            pytest.skip("numba installed; the rejection path is inactive")
+        with pytest.raises(ValueError, match="numba is not installed"):
+            resolve_backend("numba")
+
+    def test_environment_variable_forces_backend(self):
+        # The env var is read per resolution, so a subprocess is the
+        # honest end-to-end check of the documented switch.
+        env = dict(os.environ, REPRO_SIMD_BACKEND="reference",
+                   PYTHONPATH="src")
+        output = subprocess.run(
+            [sys.executable, "-c",
+             "from repro.simkernel import get_backend; print(get_backend())"],
+            capture_output=True, text=True, env=env, check=True)
+        assert output.stdout.strip() == "reference"
+
+    def test_explicit_argument_beats_active_backend(self, rng):
+        b, a = _iir_coefficients(2)
+        x = rng.uniform(-0.9, 0.9, 300)
+        with use_backend("numpy"):
+            via_argument = iir_df1_fixed(x, b, a, 2.0 ** -8,
+                                         RoundingMode.ROUND,
+                                         backend="reference")
+        expected = iir_df1_reference(x, b, a, 2.0 ** -8, RoundingMode.ROUND)
+        assert np.array_equal(via_argument, expected)
+
+
+# ----------------------------------------------------------------------
+# Plan-level batch validation
+# ----------------------------------------------------------------------
+class TestPlanBatchValidation:
+    def _two_input_graph(self):
+        from repro.sfg.builder import SfgBuilder
+        builder = SfgBuilder("two-input")
+        left = builder.input("left", fractional_bits=10)
+        right = builder.input("right", fractional_bits=10)
+        total = builder.add("sum", [left, right])
+        builder.output("y", total)
+        return builder.build()
+
+    def test_mismatched_trial_axes_rejected(self):
+        executor = SfgExecutor(self._two_input_graph())
+        stimulus = {"left": np.zeros((3, 64)), "right": np.zeros((4, 64))}
+        with pytest.raises(ValueError, match="trial axes"):
+            executor.run(stimulus, mode="double")
+        with pytest.raises(ValueError, match="trial axes"):
+            executor.run_pair(stimulus)
+
+    def test_broadcast_of_unbatched_stimulus_still_allowed(self):
+        executor = SfgExecutor(self._two_input_graph())
+        stimulus = {"left": np.ones((3, 64)), "right": np.ones(64)}
+        result = executor.run(stimulus, mode="fixed").output("y")
+        assert result.shape == (3, 64)
+        assert np.all(result == 2.0)
