@@ -13,6 +13,12 @@ word-length sweep, a benchmark loop) costs a fraction of the first call.
 Run with::
 
     python examples/quickstart.py
+
+The bit-true Monte-Carlo half of the comparison is backend-selectable;
+force the whole-plan fused simulation backend (see ARCHITECTURE.md,
+"Codegen backend") with::
+
+    REPRO_SIMD_BACKEND=codegen python examples/quickstart.py
 """
 
 from __future__ import annotations

@@ -15,6 +15,11 @@ accuracy evaluation needs (see
 :class:`repro.analysis.simulation_method.SimulationEvaluator`), and a 2-D
 ``(trials, samples)`` stimulus runs a whole Monte-Carlo batch in one
 vectorized pass.
+
+The fixed half is backend-selectable through :mod:`repro.simkernel`:
+under the ``codegen`` backend the plan's schedule walk is replaced by a
+single lowered op tape (:mod:`repro.simkernel.codegen`) whenever the
+plan can be lowered, with bitwise-identical results.
 """
 
 from __future__ import annotations

@@ -154,6 +154,15 @@ class CompiledPlan:
         self._response_cache: dict[tuple, np.ndarray] = {}
         self._tf_cache: dict[tuple, TransferFunction] = {}
         self._gain_cache: dict[tuple, tuple[float, float]] = {}
+        # Lowered op tape for the codegen backend.  The tape structure is
+        # built lazily (first fixed run under the codegen backend) and
+        # lives as long as the plan — structural edits always produce a
+        # new plan, so only its *constants* ever go stale, which refresh()
+        # tracks through _tape_bound.  Plans that cannot be lowered record
+        # the reason once and keep using the per-node schedule walk.
+        self._tape = None
+        self._tape_bound = False
+        self._tape_error: str | None = None
         self.noise_steps: tuple[PlanStep, ...] = ()
         self.refresh()
 
@@ -193,6 +202,11 @@ class CompiledPlan:
             else:
                 step.noise = None
         self.noise_steps = tuple(noise_steps)
+        # The codegen tape closes over quantized coefficients and steps:
+        # mark its constants stale so the next fixed run rebinds them (the
+        # tape *structure* is never rebuilt — satisfying the requantize
+        # hot loop).
+        self._tape_bound = False
         return True
 
     def requantize(self, assignment: dict[str, int | None]) -> None:
@@ -452,6 +466,28 @@ class CompiledPlan:
         compute = node.simulate_fixed if fixed else node.simulate
         return compute(node_inputs)
 
+    def _codegen_tape(self):
+        """The bound op tape when the codegen backend should run this
+        plan's fixed simulation, ``None`` otherwise (backend inactive, or
+        the plan contains nodes the tape cannot express)."""
+        from repro.simkernel.backend import get_backend
+
+        if get_backend() != "codegen" or self._tape_error is not None:
+            return None
+        if self._tape is None:
+            from repro.simkernel.codegen import (UnsupportedPlanError,
+                                                 lower_plan)
+            try:
+                self._tape = lower_plan(self)
+            except UnsupportedPlanError as error:
+                self._tape_error = str(error)
+                return None
+            self._tape_bound = True
+        elif not self._tape_bound:
+            self._tape.bind(self)
+            self._tape_bound = True
+        return self._tape
+
     def run(self, inputs: dict, mode: str = "double",
             keep_signals: bool = False):
         """Execute the schedule on one stimulus (1-D) or a batch (2-D).
@@ -469,16 +505,21 @@ class CompiledPlan:
         self.refresh()
         fixed = mode == "fixed"
         stimulus = dict(zip(self.input_names, self._stimulus_slots(inputs)))
-        signals: list = [None] * len(self.steps)
-        for step in self.steps:
-            if isinstance(step.node, InputNode):
-                value = stimulus[step.name]
-                if fixed and step.quantizer is not None:
-                    value = step.quantizer.quantize(value)
-                signals[step.index] = value
-                continue
-            node_inputs = [signals[i] for i in step.predecessors]
-            signals[step.index] = self._simulate(step.node, node_inputs, fixed)
+        tape = self._codegen_tape() if fixed else None
+        if tape is not None:
+            signals = tape.execute(stimulus)
+        else:
+            signals = [None] * len(self.steps)
+            for step in self.steps:
+                if isinstance(step.node, InputNode):
+                    value = stimulus[step.name]
+                    if fixed and step.quantizer is not None:
+                        value = step.quantizer.quantize(value)
+                    signals[step.index] = value
+                    continue
+                node_inputs = [signals[i] for i in step.predecessors]
+                signals[step.index] = self._simulate(step.node, node_inputs,
+                                                     fixed)
         outputs = {name: signals[index]
                    for name, index in zip(self.output_names,
                                           self.output_indices)}
@@ -501,18 +542,23 @@ class CompiledPlan:
         self.refresh()
         stimulus = dict(zip(self.input_names, self._stimulus_slots(inputs)))
         reference: list = [None] * len(self.steps)
-        fixed: list = [None] * len(self.steps)
+        tape = self._codegen_tape()
+        fixed: list = (tape.execute(stimulus) if tape is not None
+                       else [None] * len(self.steps))
         for step in self.steps:
             if isinstance(step.node, InputNode):
                 value = stimulus[step.name]
                 reference[step.index] = value
-                fixed[step.index] = (step.quantizer.quantize(value)
-                                     if step.quantizer is not None else value)
+                if tape is None:
+                    fixed[step.index] = (
+                        step.quantizer.quantize(value)
+                        if step.quantizer is not None else value)
                 continue
             reference[step.index] = self._simulate(
                 step.node, [reference[i] for i in step.predecessors], False)
-            fixed[step.index] = self._simulate(
-                step.node, [fixed[i] for i in step.predecessors], True)
+            if tape is None:
+                fixed[step.index] = self._simulate(
+                    step.node, [fixed[i] for i in step.predecessors], True)
         results = []
         for signals in (reference, fixed):
             outputs = {name: signals[index]

@@ -7,9 +7,11 @@ vectorized fixed-point FFT butterflies and overlap-save framing
 differentially verified against (:mod:`repro.simkernel.reference`), and
 the backend selection machinery (:mod:`repro.simkernel.backend`):
 ``reference`` (legacy loops), ``numpy`` (always available, bitwise
-identical to the reference by construction) and ``numba`` (optional JIT,
-auto-detected).  Force a backend with ``REPRO_SIMD_BACKEND`` or
-:func:`use_backend`.
+identical to the reference by construction), ``numba`` (optional JIT,
+auto-detected) and ``codegen`` (whole-plan fusion into a linear op tape,
+:mod:`repro.simkernel.codegen`; JIT-compiled when numba is installed,
+pure-NumPy tape interpretation otherwise).  Force a backend with
+``REPRO_SIMD_BACKEND`` or :func:`use_backend`.
 """
 
 from repro.simkernel.backend import (

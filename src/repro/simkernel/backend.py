@@ -1,6 +1,6 @@
 """Backend selection for the simulation kernel layer.
 
-Three backends implement the bit-true kernels:
+Four backends implement the bit-true kernels:
 
 * ``reference`` — the original per-sample / per-block Python loops,
   preserved verbatim (:mod:`repro.simkernel.reference` and the
@@ -14,6 +14,13 @@ Three backends implement the bit-true kernels:
   feedback recursion.  A soft dependency: auto-detected at import time
   and silently unavailable when :mod:`numba` is not installed; the numpy
   kernels are the fallback for everything the JIT does not cover.
+* ``codegen`` — whole-plan fusion: a :class:`~repro.sfg.plan.CompiledPlan`
+  is lowered once into a linear op tape which then executes with zero
+  per-node Python dispatch (:mod:`repro.simkernel.codegen`).  Always
+  available; the tape runs through a JIT-compiled interpreter when numba
+  is installed and degrades to a tape-walking NumPy/Python interpreter
+  (with a one-time warning) when it is not.  Nodes a plan cannot lower
+  fall back to the per-node default kernels.
 
 The active backend is resolved, in priority order, from
 
@@ -49,8 +56,8 @@ def numba_available() -> bool:
 def available_backends() -> tuple[str, ...]:
     """The backends usable in this process, reference first."""
     if numba_available():
-        return _ALWAYS_AVAILABLE + ("numba",)
-    return _ALWAYS_AVAILABLE
+        return _ALWAYS_AVAILABLE + ("numba", "codegen")
+    return _ALWAYS_AVAILABLE + ("codegen",)
 
 
 def default_backend() -> str:
@@ -60,10 +67,10 @@ def default_backend() -> str:
 
 def _validate(name: str) -> str:
     name = str(name).lower()
-    if name not in _ALWAYS_AVAILABLE + ("numba",):
+    if name not in _ALWAYS_AVAILABLE + ("numba", "codegen"):
         raise ValueError(
             f"unknown simulation backend {name!r}; expected one of "
-            f"{_ALWAYS_AVAILABLE + ('numba',)}")
+            f"{_ALWAYS_AVAILABLE + ('numba', 'codegen')}")
     if name == "numba" and not numba_available():
         raise ValueError(
             "the numba backend was requested but numba is not installed")

@@ -1,0 +1,24 @@
+"""Plan-to-kernel codegen backend.
+
+Lowers whole :class:`~repro.sfg.plan.CompiledPlan` schedules into linear
+op tapes (:mod:`repro.simkernel.codegen.lowering`) executed either by a
+single fused numba kernel (:mod:`repro.simkernel.codegen._njit`) or by
+the always-available NumPy tape interpreter
+(:mod:`repro.simkernel.codegen.interpreter`).  Activate with
+``REPRO_SIMD_BACKEND=codegen`` or ``use_backend("codegen")``; see
+ARCHITECTURE.md, "Codegen backend".
+"""
+
+from repro.simkernel.codegen.lowering import (
+    PlanTape,
+    TapeOp,
+    UnsupportedPlanError,
+    lower_plan,
+)
+
+__all__ = [
+    "PlanTape",
+    "TapeOp",
+    "UnsupportedPlanError",
+    "lower_plan",
+]

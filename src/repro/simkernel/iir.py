@@ -152,6 +152,12 @@ def iir_df1_fixed(x: np.ndarray, b: np.ndarray, a: np.ndarray, step: float,
         :mod:`repro.simkernel.backend`.
     """
     backend = resolve_backend(backend)
+    if backend == "codegen":
+        # Whole-plan fusion happens one level up (CompiledPlan.run); a
+        # per-node call under the codegen backend means the plan could not
+        # be lowered, so run the best per-node kernel instead.
+        from repro.simkernel.backend import default_backend
+        backend = default_backend()
     if backend == "reference":
         from repro.simkernel.reference import iir_df1_reference
         return iir_df1_reference(x, b, a, step, rounding)

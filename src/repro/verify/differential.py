@@ -14,8 +14,9 @@ graphs of :mod:`repro.systems.random_graphs`):
 3. **backend_equality** — the bit-true simulation produces identical
    bits under every available simulation-kernel backend
    (:mod:`repro.simkernel`): the preserved legacy per-sample loops
-   (``reference``), the vectorized scaled-integer kernels (``numpy``)
-   and, when installed, the Numba JIT kernels;
+   (``reference``), the vectorized scaled-integer kernels (``numpy``),
+   the whole-plan fused op tapes (``codegen``) and, when installed, the
+   Numba JIT kernels;
 4. **batch_vs_sequential** — the configuration-batched evaluation paths
    equal the sequential requantize-and-evaluate loop, row for row, bit
    for bit (analytical engines and the Monte-Carlo reference);
