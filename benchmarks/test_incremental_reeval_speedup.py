@@ -1,0 +1,177 @@
+"""Incremental re-evaluation speedup — dirty-cone pulls vs cold walks.
+
+The word-length optimizer's inner loop is "move one node by one bit,
+re-evaluate the output noise" — thousands of single-node edits against an
+incumbent configuration.  The incremental engine
+(:class:`repro.analysis._engine.NoiseMemo`) serves each such edit by
+re-propagating only the edited node's downstream cone, bit-identically to
+a cold full walk.  This harness pins that speedup on the
+ablation-scalability workloads (:mod:`repro.systems.families`):
+
+* the **wide bank** (``branches`` parallel FIR filters under an
+  unquantized binary adder tree) — the best case, one greedy candidate
+  touches ``1 + log2(branches)`` of the ``2 * branches + 1`` steps; the
+  per-candidate speedup must meet the committed
+  ``incremental_reeval.per_candidate`` floor of
+  ``benchmarks/bench_baseline.json`` (the same floor ``repro bench
+  --check`` gates in CI via the registered ``incremental_reeval`` bench);
+* the **chain** — the worst case (an edit's cone is every downstream
+  block), reported for scale but not floored;
+* the **optimizer end to end** — ``WordLengthOptimizer`` in incremental
+  vs sequential mode on a reduced bank: identical assignment and noise
+  power, with the work split (``full_walks`` vs ``cone_recomputes``)
+  recorded in the payload.
+
+Every timed comparison asserts the per-candidate noise powers are
+bitwise identical between the memoized and the memo-blind runs before
+any speedup is reported.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis._engine import memoization_disabled, plan_memo
+from repro.analysis.psd_method import evaluate_psd
+from repro.bench import load_baseline, required_floor
+from repro.sfg.plan import compile_plan
+from repro.systems.families import build_scalability_bank, build_scalability_chain
+from repro.systems.wordlength import WordLengthOptimizer
+from repro.utils.tables import TextTable
+from repro.utils.timing import time_callable
+
+from conftest import write_bench, write_report
+
+_BASELINE = Path(__file__).parent / "bench_baseline.json"
+
+
+def _candidate_replay(plan, edits, n_psd):
+    """One greedy candidate pass: requantize each edit, evaluate, restore."""
+    powers = []
+    with plan.preserve_quantization():
+        for name, bits in edits:
+            plan.requantize({name: bits})
+            powers.append(evaluate_psd(plan, n_psd).total_power)
+    return np.asarray(powers)
+
+
+def _timed_replays(plan, edits, n_psd, repeat):
+    """(cold seconds, warm seconds, powers) for one edit sequence.
+
+    The cold run replays under :func:`memoization_disabled` (every
+    candidate pays a full walk); the warm run pulls from the plan's
+    memo (every candidate pays its dirty cone).  Both are preceded by
+    one untimed pass so response-cache priming and the memo's cold
+    build stay out of the ratio, and both must produce bitwise
+    identical per-candidate powers.
+    """
+    with memoization_disabled():
+        _candidate_replay(plan, edits, n_psd)
+        cold, cold_seconds = time_callable(
+            lambda: _candidate_replay(plan, edits, n_psd), repeat=repeat)
+    evaluate_psd(plan, n_psd)  # sync the memo on the restored baseline
+    _candidate_replay(plan, edits, n_psd)
+    warm, warm_seconds = time_callable(
+        lambda: _candidate_replay(plan, edits, n_psd), repeat=repeat)
+    assert np.array_equal(cold, warm), \
+        "memoized candidate powers drifted from the cold full walks"
+    return cold_seconds, warm_seconds
+
+
+def test_incremental_reeval_speedup(benchmark, bench_config, results_dir):
+    n_psd = 512
+    full = bench_config["mode"] == "full"
+    branches = 128 if full else 64
+    candidates = 32 if full else 24
+    repeat = 3
+
+    # --- wide bank: the floored workload ---------------------------------
+    bank = build_scalability_bank(branches=branches)
+    bank_plan = compile_plan(bank)
+    bank_edits = [(f"branch{index}", 13 - index % 2)
+                  for index in range(candidates)]
+    bank_cold, bank_warm = _timed_replays(bank_plan, bank_edits, n_psd,
+                                          repeat)
+    bank_speedup = bank_cold / bank_warm
+
+    # --- chain: the worst case, informational ----------------------------
+    chain_blocks = 32
+    chain = build_scalability_chain(chain_blocks)
+    chain_plan = compile_plan(chain)
+    chain_edits = [(f"block{index}", 13 - index % 2)
+                   for index in range(min(candidates, chain_blocks))]
+    chain_cold, chain_warm = _timed_replays(chain_plan, chain_edits, n_psd,
+                                            repeat)
+    chain_speedup = chain_cold / chain_warm
+
+    # --- optimizer end to end: incremental vs sequential mode ------------
+    small = build_scalability_bank(branches=16)
+    budget = float(evaluate_psd(small, n_psd).total_power) * 4.0
+    incremental = WordLengthOptimizer(small, n_psd=n_psd,
+                                      mode="incremental").optimize(budget)
+    sequential = WordLengthOptimizer(small, n_psd=n_psd,
+                                     mode="sequential").optimize(budget)
+    assert incremental.assignment == sequential.assignment
+    assert incremental.noise_power == sequential.noise_power
+    assert incremental.evaluations == sequential.evaluations
+    assert incremental.cone_recomputes > 0
+    assert incremental.full_walks < incremental.evaluations
+    assert sequential.cone_recomputes == 0
+
+    # --- report and payload ----------------------------------------------
+    counters = plan_memo(bank_plan).counters()
+    table = TextTable(
+        ["workload", "steps", "candidates", "full walk [s/cand]",
+         "dirty cone [s/cand]", "speedup"],
+        title=(f"incremental re-evaluation ({bench_config['mode']} mode, "
+               f"N_PSD={n_psd}; memoized dirty-cone pulls vs cold full "
+               "walks, bitwise identical powers)"))
+    table.add_row(bank.name, len(bank_plan.steps), len(bank_edits),
+                  round(bank_cold / len(bank_edits), 6),
+                  round(bank_warm / len(bank_edits), 6),
+                  round(bank_speedup, 1))
+    table.add_row(chain.name, len(chain_plan.steps), len(chain_edits),
+                  round(chain_cold / len(chain_edits), 6),
+                  round(chain_warm / len(chain_edits), 6),
+                  round(chain_speedup, 1))
+    optimizer_lines = [
+        f"optimizer on scalability-bank-16 (budget {budget:.3e}): "
+        f"{incremental.evaluations} evaluations in both modes, identical "
+        "assignment and noise power",
+        f"  incremental mode: {incremental.full_walks} full walks + "
+        f"{incremental.cone_recomputes} cone recomputes",
+        f"  sequential mode:  {sequential.full_walks} full walks",
+    ]
+    write_report(results_dir, "incremental_reeval.txt",
+                 table.render() + "\n\n" + "\n".join(optimizer_lines))
+    write_bench(results_dir, "incremental_reeval",
+                workload={"branches": branches, "bank_steps":
+                          len(bank_plan.steps), "chain_blocks": chain_blocks,
+                          "candidates": candidates, "n_psd": n_psd,
+                          "steps_recomputed": counters["steps_recomputed"],
+                          "steps_reused": counters["steps_reused"],
+                          "optimizer_full_walks": incremental.full_walks,
+                          "optimizer_cone_recomputes":
+                          incremental.cone_recomputes},
+                seconds={"bank_full_walks": bank_cold,
+                         "bank_dirty_cones": bank_warm,
+                         "chain_full_walks": chain_cold,
+                         "chain_dirty_cones": chain_warm},
+                speedup={"per_candidate": bank_speedup,
+                         "chain_per_candidate": chain_speedup},
+                tags=("smoke", "analysis", "scalability"))
+
+    # The acceptance claim, gated by the same committed floor that
+    # `repro bench --check` enforces in CI.
+    floor = required_floor(load_baseline(_BASELINE), "incremental_reeval",
+                           "per_candidate", _BASELINE)
+    assert bank_speedup >= floor, \
+        (f"per-candidate speedup {bank_speedup:.1f}x fell below the "
+         f"committed {floor:g}x floor on the {branches}-branch bank")
+    # Even the worst-case chain must not be slower than cold walks.
+    assert chain_speedup > 1.0, \
+        "dirty-cone pulls must beat cold walks even on the chain"
+
+    benchmark(lambda: _candidate_replay(bank_plan, bank_edits[:1], n_psd))

@@ -15,10 +15,46 @@ Per-node frequency responses (block responses and IIR noise-shaping
 responses) come from the plan's memoized cache, so repeated evaluations of
 the same graph — the word-length optimizer's inner loop, the execution-time
 benchmark — skip every FFT-sized computation after the first call.
+
+Incremental re-evaluation
+-------------------------
+On top of the response cache, each plan carries one :class:`NoiseMemo`: a
+pull-based cache of the *propagated* per-node representations themselves,
+one channel per ``(representation, n_bins)``.  A pull first folds pending
+spec/coefficient mutations into the plan (``plan.refresh()``, which stamps
+the edited steps with a new plan epoch), then recomputes only the
+downstream cone of the steps dirtied since the channel last synced,
+reusing every other node's cached value as-is.  Because a cone recompute
+replays exactly the same operations the full walk would, on bit-identical
+cached inputs, the result is bit-identical to a cold walk — the
+``incremental`` check of :func:`repro.verify.differential.verify_graph`
+fuzzes that equivalence, and ``ARCHITECTURE.md`` spells out the exactness
+argument.  This is what turns the word-length optimizer's one-node
+candidate edits from O(nodes) walks into O(depth) cone updates.
+
+The batched walks pull the scalar memo as their baseline: only the steps
+whose stacked word lengths deviate from the plan's live configuration —
+plus their downstream cone — are recomputed with the vectorized rules;
+every other step broadcasts its cached scalar value across the config
+axis (bit-identical by the batched-walk row contract pinned in
+``tests/test_analysis_batch.py``).
+
+Memoization is on by default and exact, so there is normally no reason to
+turn it off; :func:`memoization_disabled` exists for honest cold-cache
+baselines (timing harnesses, the differential check's reference side) and
+restores the previous state on exit.  The generic :func:`walk` with
+user-supplied callbacks is never memoized: arbitrary callbacks are opaque,
+so there is no sound cache key for them.
+
+Returned representations are shared with the memo: treat them as
+immutable (which every representation class already is by convention).
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
+from contextlib import contextmanager
+from functools import partial
 from typing import Callable
 
 import numpy as np
@@ -47,12 +83,220 @@ def node_noise_sources(system: SignalFlowGraph | CompiledPlan
     return {step.name: step.noise for step in plan.noise_steps}
 
 
+# ----------------------------------------------------------------------
+# Memoization switch
+# ----------------------------------------------------------------------
+# A stack rather than a flag so disabled regions nest; the top entry is
+# the current state.
+_MEMO_STATE: list[bool] = [True]
+
+
+def memoization_enabled() -> bool:
+    """Whether walks may pull from (and update) the per-plan NoiseMemo."""
+    return _MEMO_STATE[-1]
+
+
+@contextmanager
+def memoization_disabled():
+    """Force full cold walks for the duration of the block.
+
+    Used by the honest baselines: the differential ``incremental`` check's
+    reference side, the timing harnesses that must not measure cache hits,
+    and the optimizer's ``sequential`` mode.  Results are bit-identical
+    either way; only the amount of recomputation differs.
+    """
+    _MEMO_STATE.append(False)
+    try:
+        yield
+    finally:
+        _MEMO_STATE.pop()
+
+
+# ----------------------------------------------------------------------
+# Per-step evaluation rules (shared by cold walks and memo pulls)
+# ----------------------------------------------------------------------
+def _psd_step(plan: CompiledPlan, n_psd: int, step, values) -> DiscretePsd:
+    node = step.node
+    if step.is_source:
+        acc = DiscretePsd.zero(n_psd)
+    elif isinstance(node, _LtiMixin):
+        # Same rule as Node.propagate_psd, but the block response is
+        # sampled once per (node, bins) and memoized on the plan.  The
+        # input PSD may live on fewer bins than n_psd when the signal
+        # was decimated upstream.
+        (psd,) = (values[i] for i in step.predecessors)
+        acc = psd.filtered(plan.block_response(step, psd.n_bins))
+    else:
+        acc = node.propagate_psd([values[i] for i in step.predecessors],
+                                 n_psd)
+    if step.noise is not None:
+        acc = acc + plan.shaped_noise_psd(step, acc.n_bins)
+    return acc
+
+
+def _stats_step(plan: CompiledPlan, step, values) -> NoiseStats:
+    node = step.node
+    if step.is_source:
+        acc = NoiseStats(0.0, 0.0)
+    elif isinstance(node, _LtiMixin):
+        (stats,) = (values[i] for i in step.predecessors)
+        energy, dc = plan.block_gains(step)
+        acc = NoiseStats(mean=stats.mean * dc,
+                         variance=stats.variance * energy)
+    else:
+        acc = node.propagate_stats([values[i] for i in step.predecessors])
+    if step.noise is not None:
+        acc = acc + plan.shaped_noise_stats(step)
+    return acc
+
+
+def _tracked_step(plan: CompiledPlan, n_psd: int, step,
+                  values) -> TrackedSpectrum:
+    node = step.node
+    if step.is_source:
+        acc = TrackedSpectrum.zero(n_psd)
+    elif isinstance(node, _LtiMixin):
+        (tracked,) = (values[i] for i in step.predecessors)
+        acc = tracked.filtered(plan.block_response(step, n_psd))
+    else:
+        acc = node.propagate_tracked([values[i] for i in step.predecessors],
+                                     n_psd)
+    if step.noise is not None:
+        acc = acc + plan.shaped_noise_tracked(step, n_psd)
+    return acc
+
+
+def _full_walk(plan: CompiledPlan, compute_step) -> list:
+    """Cold walk: evaluate every step, no cache involved."""
+    plan.refresh()
+    values: list = [None] * len(plan.steps)
+    for step in plan.steps:
+        values[step.index] = compute_step(step, values)
+    return values
+
+
+# ----------------------------------------------------------------------
+# The per-plan memo
+# ----------------------------------------------------------------------
+class _Channel:
+    """One representation's cached per-step values and their sync epoch."""
+
+    __slots__ = ("values", "epoch")
+
+    def __init__(self, values: list, epoch: int):
+        self.values = values
+        self.epoch = epoch
+
+
+class NoiseMemo:
+    """Pull-based cache of propagated per-node noise representations.
+
+    One memo lives on each plan (see :func:`plan_memo`); channels are
+    keyed by representation and bin count, e.g. ``("psd", 512)``.  The
+    counters make the work split observable: ``full_walks`` counts cold
+    channel builds, ``cone_recomputes`` counts pulls that re-evaluated a
+    dirty cone, and ``steps_recomputed`` / ``steps_reused`` count the
+    per-step work either way — the word-length optimizer surfaces their
+    deltas in :class:`~repro.systems.wordlength.WordLengthResult`.
+    """
+
+    #: Bound on the flat method's path-function entries (one entry per
+    #: distinct (output, sources, coefficient fingerprint) seen).
+    PATH_CACHE_LIMIT = 32
+
+    def __init__(self, plan: CompiledPlan):
+        self.plan = plan
+        self._channels: dict[tuple, _Channel] = {}
+        # Symbolic path functions of the flat method, LRU-bounded: they
+        # depend only on the plan's coefficient fingerprint, not on the
+        # data-path word lengths, so the optimizer's requantize loop hits
+        # one entry over and over.
+        self.path_functions: "OrderedDict[tuple, dict]" = OrderedDict()
+        self.full_walks = 0
+        self.cone_recomputes = 0
+        self.steps_recomputed = 0
+        self.steps_reused = 0
+
+    def counters(self) -> dict[str, int]:
+        """Snapshot of the work counters (cheap, copy-safe)."""
+        return {"full_walks": self.full_walks,
+                "cone_recomputes": self.cone_recomputes,
+                "steps_recomputed": self.steps_recomputed,
+                "steps_reused": self.steps_reused}
+
+    def _pull(self, key: tuple, compute_step) -> list:
+        """Per-step values of one channel, recomputing only dirty cones.
+
+        Exception-safe: values are computed into a private list and
+        committed (together with the sync epoch) only when the whole
+        cone succeeded, so a failing walk — e.g. a multirate graph
+        rejecting tracked propagation — never half-updates the channel.
+        """
+        plan = self.plan
+        plan.refresh()
+        channel = self._channels.get(key)
+        if channel is None:
+            values: list = [None] * len(plan.steps)
+            for step in plan.steps:
+                values[step.index] = compute_step(step, values)
+            self._channels[key] = _Channel(values, plan.epoch)
+            self.full_walks += 1
+            self.steps_recomputed += len(plan.steps)
+            return values
+        dirty = plan.steps_dirty_since(channel.epoch)
+        if len(dirty):
+            cone = plan.downstream_cone(dirty)
+            values = list(channel.values)
+            for index in cone:
+                values[index] = compute_step(plan.steps[index], values)
+            channel.values = values
+            self.cone_recomputes += 1
+            self.steps_recomputed += len(cone)
+            self.steps_reused += len(plan.steps) - len(cone)
+        channel.epoch = plan.epoch
+        return channel.values
+
+    def psd(self, n_psd: int) -> list:
+        """Per-step :class:`DiscretePsd` values (index-aligned)."""
+        return self._pull(("psd", n_psd), partial(_psd_step, self.plan, n_psd))
+
+    def stats(self) -> list:
+        """Per-step :class:`NoiseStats` values (index-aligned)."""
+        return self._pull(("stats",), partial(_stats_step, self.plan))
+
+    def tracked(self, n_psd: int) -> list:
+        """Per-step :class:`TrackedSpectrum` values (index-aligned)."""
+        return self._pull(("tracked", n_psd),
+                          partial(_tracked_step, self.plan, n_psd))
+
+
+_MEMO_ATTRIBUTE = "_noise_memo"
+
+
+def plan_memo(system: SignalFlowGraph | CompiledPlan) -> NoiseMemo:
+    """The (per-plan, lazily created) :class:`NoiseMemo` of a system.
+
+    The memo lives on the plan object, so everything evaluating the same
+    graph — optimizer rounds, Pareto budgets, campaign jobs — shares one
+    cache, and it is reclaimed together with the plan.
+    """
+    plan = compile_plan(system)
+    memo = getattr(plan, _MEMO_ATTRIBUTE, None)
+    if memo is None or memo.plan is not plan:
+        memo = NoiseMemo(plan)
+        setattr(plan, _MEMO_ATTRIBUTE, memo)
+    return memo
+
+
 def walk(system: SignalFlowGraph | CompiledPlan, n_bins: int,
          zero: Callable[[Node], object],
          propagate: Callable[[Node, list], object],
          inject: Callable[[Node, NoiseStats, object], object],
          ) -> dict[str, object]:
     """Generic noise-propagation traversal (node-level callbacks).
+
+    Never memoized: the callbacks are opaque, so no sound cache key
+    exists.  The typed walks below are the memoized fast paths.
 
     Parameters
     ----------
@@ -92,65 +336,124 @@ def walk(system: SignalFlowGraph | CompiledPlan, n_bins: int,
 # Cached plan walks, one per noise representation
 # ----------------------------------------------------------------------
 def walk_psd(plan: CompiledPlan, n_psd: int) -> dict[str, DiscretePsd]:
-    """PSD propagation over a compiled plan, with cached block responses."""
-    def propagate(step, inputs):
-        node = step.node
-        if isinstance(node, _LtiMixin):
-            # Same rule as Node.propagate_psd, but the block response is
-            # sampled once per (node, bins) and memoized on the plan.  The
-            # input PSD may live on fewer bins than n_psd when the signal
-            # was decimated upstream.
-            (psd,) = inputs
-            return psd.filtered(plan.block_response(step, psd.n_bins))
-        return node.propagate_psd(inputs, n_psd)
-
-    return walk_plan(
-        plan,
-        zero=lambda step: DiscretePsd.zero(n_psd),
-        propagate=propagate,
-        inject=lambda step, acc: acc + plan.shaped_noise_psd(step, acc.n_bins),
-    )
+    """PSD propagation over a compiled plan, incremental when memoized."""
+    if memoization_enabled():
+        values = plan_memo(plan).psd(n_psd)
+    else:
+        values = _full_walk(plan, partial(_psd_step, plan, n_psd))
+    return {step.name: values[step.index] for step in plan.steps}
 
 
 def walk_stats(plan: CompiledPlan) -> dict[str, NoiseStats]:
-    """Moment propagation over a compiled plan, with cached block gains."""
-    def propagate(step, inputs):
-        node = step.node
-        if isinstance(node, _LtiMixin):
-            (stats,) = inputs
-            energy, dc = plan.block_gains(step)
-            return NoiseStats(mean=stats.mean * dc,
-                              variance=stats.variance * energy)
-        return node.propagate_stats(inputs)
-
-    return walk_plan(
-        plan,
-        zero=lambda step: NoiseStats(0.0, 0.0),
-        propagate=propagate,
-        inject=lambda step, acc: acc + plan.shaped_noise_stats(step),
-    )
+    """Moment propagation over a compiled plan, incremental when memoized."""
+    if memoization_enabled():
+        values = plan_memo(plan).stats()
+    else:
+        values = _full_walk(plan, partial(_stats_step, plan))
+    return {step.name: values[step.index] for step in plan.steps}
 
 
 def walk_tracked(plan: CompiledPlan, n_psd: int) -> dict[str, TrackedSpectrum]:
-    """Per-source tracked propagation with cached complex responses."""
-    def propagate(step, inputs):
-        node = step.node
-        if isinstance(node, _LtiMixin):
-            (tracked,) = inputs
-            return tracked.filtered(plan.block_response(step, n_psd))
-        return node.propagate_tracked(inputs, n_psd)
-
-    return walk_plan(
-        plan,
-        zero=lambda step: TrackedSpectrum.zero(n_psd),
-        propagate=propagate,
-        inject=lambda step, acc: acc + plan.shaped_noise_tracked(step, n_psd),
-    )
+    """Per-source tracked propagation, incremental when memoized."""
+    if memoization_enabled():
+        values = plan_memo(plan).tracked(n_psd)
+    else:
+        values = _full_walk(plan, partial(_tracked_step, plan, n_psd))
+    return {step.name: values[step.index] for step in plan.steps}
 
 
 # ----------------------------------------------------------------------
 # Batched plan walks (one pass per configuration stack)
 # ----------------------------------------------------------------------
+def _psd_batch_step(plan: CompiledPlan, n_psd: int, stack: ConfigStack,
+                    step, slots) -> PsdStack:
+    node = step.node
+    if step.is_source:
+        acc = PsdStack.zero(stack.size, n_psd)
+    elif isinstance(node, _LtiMixin):
+        (psd,) = (slots[i] for i in step.predecessors)
+        acc = psd.filtered(stack.block_response(step, psd.n_bins))
+    elif isinstance(node, AddNode):
+        inputs = [slots[i] for i in step.predecessors]
+        acc = PsdStack.zero(stack.size, inputs[0].n_bins)
+        for sign, psd in zip(node.signs, inputs):
+            acc = acc + psd.scaled(sign)
+    elif isinstance(node, OutputNode):
+        (psd,) = (slots[i] for i in step.predecessors)
+        acc = psd.copy()
+    elif isinstance(node, DownsampleNode):
+        (psd,) = (slots[i] for i in step.predecessors)
+        acc = psd.downsampled(node.factor)
+    elif isinstance(node, UpsampleNode):
+        (psd,) = (slots[i] for i in step.predecessors)
+        acc = psd.upsampled(node.factor)
+    else:
+        raise NotImplementedError(
+            f"batched PSD propagation does not support node type "
+            f"{type(node).__name__}")
+    noise = stack.noise(step)
+    if noise is not None:
+        means, variances = noise
+        own = PsdStack.white(means, variances, acc.n_bins)
+        if isinstance(node, IirNode):
+            own = own.filtered(stack.shaping_response(step, acc.n_bins))
+        acc = acc + own
+    return acc
+
+
+def _stats_batch_step(plan: CompiledPlan, stack: ConfigStack, step,
+                      slots) -> NoiseStats:
+    node = step.node
+    if step.is_source:
+        zeros = np.zeros(stack.size)
+        acc = NoiseStats(mean=zeros, variance=zeros)
+    elif isinstance(node, _LtiMixin):
+        (stats,) = (slots[i] for i in step.predecessors)
+        energy, dc = stack.block_gains(step)
+        acc = NoiseStats(mean=stats.mean * dc,
+                         variance=stats.variance * energy)
+    else:
+        acc = node.propagate_stats([slots[i] for i in step.predecessors])
+    noise = stack.noise(step)
+    if noise is not None:
+        means, variances = noise
+        if isinstance(node, IirNode):
+            energy, dc = stack.shaping_gains(step)
+            own = NoiseStats(mean=means * dc, variance=variances * energy)
+        else:
+            own = NoiseStats(mean=means, variance=variances)
+        acc = acc + own
+    return acc
+
+
+def _deviant_cone(plan: CompiledPlan, stack: ConfigStack) -> set[int]:
+    """Steps the batched walk must actually vectorize.
+
+    A step is *deviant* when some config of the stack gives it a word
+    length other than the plan's live one; outside the downstream cone of
+    the deviant steps, every config's row provably equals the scalar walk
+    of the live configuration, so the cached scalar value can be
+    broadcast instead of recomputed.
+    """
+    deviant = [step.index for step in plan.steps
+               if any(b != step.node.quantization.fractional_bits
+                      for b in stack.bits(step))]
+    return set(plan.downstream_cone(deviant)) if deviant else set()
+
+
+def _broadcast_psd(psd: DiscretePsd, size: int) -> PsdStack:
+    # broadcast_to keeps the scalar bins as a read-only view: every
+    # downstream PsdStack operation allocates fresh arrays, so sharing is
+    # safe and the boundary injection costs O(1) memory per step.
+    return PsdStack(np.broadcast_to(psd.ac, (size, psd.ac.shape[0])),
+                    np.full(size, psd.mean))
+
+
+def _broadcast_stats(stats: NoiseStats, size: int) -> NoiseStats:
+    return NoiseStats(mean=np.full(size, stats.mean),
+                      variance=np.full(size, stats.variance))
+
+
 def walk_psd_batch(plan: CompiledPlan, n_psd: int,
                    stack: ConfigStack) -> dict[str, PsdStack]:
     """PSD propagation of a whole configuration stack in one pass.
@@ -159,42 +462,25 @@ def walk_psd_batch(plan: CompiledPlan, n_psd: int,
     scalar :func:`walk_psd` of configuration ``k``: each operation applies
     the same operand pairs in the same order, only vectorized along the
     leading config axis, and the per-node responses come from the same
-    plan cache the scalar walk uses.
+    plan cache the scalar walk uses.  When memoization is enabled, only
+    the deviant cone of the stack (see :func:`_deviant_cone`) is
+    vectorized; every other step broadcasts the scalar memo's cached
+    value.  The stack must have been resolved against the plan's current
+    spec state (every in-repo caller constructs it immediately before
+    walking).
     """
+    if memoization_enabled():
+        base = plan_memo(plan).psd(n_psd)
+        cone = _deviant_cone(plan, stack)
+    else:
+        base, cone = None, set(range(len(plan.steps)))
     slots: list = [None] * len(plan.steps)
     for step in plan.steps:
-        node = step.node
-        if step.is_source:
-            acc = PsdStack.zero(stack.size, n_psd)
-        elif isinstance(node, _LtiMixin):
-            (psd,) = (slots[i] for i in step.predecessors)
-            acc = psd.filtered(stack.block_response(step, psd.n_bins))
-        elif isinstance(node, AddNode):
-            inputs = [slots[i] for i in step.predecessors]
-            acc = PsdStack.zero(stack.size, inputs[0].n_bins)
-            for sign, psd in zip(node.signs, inputs):
-                acc = acc + psd.scaled(sign)
-        elif isinstance(node, OutputNode):
-            (psd,) = (slots[i] for i in step.predecessors)
-            acc = psd.copy()
-        elif isinstance(node, DownsampleNode):
-            (psd,) = (slots[i] for i in step.predecessors)
-            acc = psd.downsampled(node.factor)
-        elif isinstance(node, UpsampleNode):
-            (psd,) = (slots[i] for i in step.predecessors)
-            acc = psd.upsampled(node.factor)
+        if step.index in cone:
+            slots[step.index] = _psd_batch_step(plan, n_psd, stack, step,
+                                                slots)
         else:
-            raise NotImplementedError(
-                f"batched PSD propagation does not support node type "
-                f"{type(node).__name__}")
-        noise = stack.noise(step)
-        if noise is not None:
-            means, variances = noise
-            own = PsdStack.white(means, variances, acc.n_bins)
-            if isinstance(node, IirNode):
-                own = own.filtered(stack.shaping_response(step, acc.n_bins))
-            acc = acc + own
-        slots[step.index] = acc
+            slots[step.index] = _broadcast_psd(base[step.index], stack.size)
     return {step.name: slots[step.index] for step in plan.steps}
 
 
@@ -206,28 +492,17 @@ def walk_stats_batch(plan: CompiledPlan,
     fields are ``(K,)`` arrays (the dataclass arithmetic is elementwise,
     so every propagation rule applies unchanged).  Entry ``k`` is
     bit-identical to the scalar :func:`walk_stats` of configuration ``k``.
+    Deviant-cone reuse mirrors :func:`walk_psd_batch`.
     """
-    zeros = np.zeros(stack.size)
+    if memoization_enabled():
+        base = plan_memo(plan).stats()
+        cone = _deviant_cone(plan, stack)
+    else:
+        base, cone = None, set(range(len(plan.steps)))
     slots: list = [None] * len(plan.steps)
     for step in plan.steps:
-        node = step.node
-        if step.is_source:
-            acc = NoiseStats(mean=zeros, variance=zeros)
-        elif isinstance(node, _LtiMixin):
-            (stats,) = (slots[i] for i in step.predecessors)
-            energy, dc = stack.block_gains(step)
-            acc = NoiseStats(mean=stats.mean * dc,
-                             variance=stats.variance * energy)
+        if step.index in cone:
+            slots[step.index] = _stats_batch_step(plan, stack, step, slots)
         else:
-            acc = node.propagate_stats([slots[i] for i in step.predecessors])
-        noise = stack.noise(step)
-        if noise is not None:
-            means, variances = noise
-            if isinstance(node, IirNode):
-                energy, dc = stack.shaping_gains(step)
-                own = NoiseStats(mean=means * dc, variance=variances * energy)
-            else:
-                own = NoiseStats(mean=means, variance=variances)
-            acc = acc + own
-        slots[step.index] = acc
+            slots[step.index] = _broadcast_stats(base[step.index], stack.size)
     return {step.name: slots[step.index] for step in plan.steps}

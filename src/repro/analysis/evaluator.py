@@ -67,6 +67,11 @@ class AccuracyEvaluator:
         # The graph is compiled once; every estimate / simulation call then
         # replays the plan (validation, ordering, wiring and the
         # frequency-response cache are all reused across calls).
+        # Analytical estimates additionally share the plan's NoiseMemo
+        # (see repro.analysis._engine): repeated estimates after
+        # requantize edits re-propagate only the dirty downstream cone,
+        # and simulation calls reuse cached double-precision reference
+        # runs when only data-path word lengths changed.
         self.plan = compile_plan(graph)
         self._simulator = SimulationEvaluator(self.plan)
 

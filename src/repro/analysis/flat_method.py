@@ -21,6 +21,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis._engine import (
+    NoiseMemo,
+    memoization_enabled,
+    plan_memo,
+)
 from repro.fixedpoint.noise_model import NoiseStats
 from repro.lti.transfer_function import TransferFunction
 from repro.sfg.graph import SignalFlowGraph
@@ -60,6 +65,18 @@ def source_path_functions(system: SignalFlowGraph | CompiledPlan,
     output_name = plan.resolve_output(output)
     if sources is None:
         sources = {step.name for step in plan.noise_steps}
+    cache = key = None
+    if memoization_enabled():
+        # Path functions depend only on the coefficient fingerprint (the
+        # transfer behaviour), not on the data-path word lengths, so the
+        # optimizer's requantize loop keeps hitting one entry.
+        cache = plan_memo(plan).path_functions
+        key = (output_name, frozenset(sources),
+               plan.coefficient_fingerprint())
+        cached = cache.get(key)
+        if cached is not None:
+            cache.move_to_end(key)
+            return dict(cached)
 
     # paths[index] maps source name -> transfer function from the source to
     # this node's output.
@@ -81,7 +98,12 @@ def source_path_functions(system: SignalFlowGraph | CompiledPlan,
             else:
                 accumulated[step.name] = shaping
         paths[step.index] = accumulated
-    return paths[plan.index_of[output_name]]
+    result = paths[plan.index_of[output_name]]
+    if cache is not None:
+        cache[key] = dict(result)
+        while len(cache) > NoiseMemo.PATH_CACHE_LIMIT:
+            cache.popitem(last=False)
+    return result
 
 
 def evaluate_flat(system: SignalFlowGraph | CompiledPlan,

@@ -15,7 +15,12 @@ blocks; the block magnitude responses are computed once (``O(N log N)``)
 and can be reused for any number of word-length configurations.  That
 reuse is realised through :class:`~repro.sfg.plan.CompiledPlan`: every
 function here accepts either a graph or a compiled plan, and the plan
-memoizes the per-block frequency responses across calls.
+memoizes the per-block frequency responses across calls.  Repeated
+evaluations of the same plan additionally pull from its
+:class:`~repro.analysis._engine.NoiseMemo`: after a requantize edit only
+the edited nodes' downstream cone is re-propagated, so one-node edits
+(the optimizer's inner loop) cost O(depth), not O(nodes), per call —
+bit-identical to a cold walk.
 
 :func:`evaluate_psd_tracked` additionally keeps, for every noise source,
 the complex response of the path to the output, which makes re-convergent

@@ -275,6 +275,69 @@ def bench_welch_psd(samples: int = 400_000, seed: int = 5) -> dict:
         tags=("smoke", "psd"))
 
 
+@_registered("incremental_reeval", tags=("smoke", "analysis"),
+             description="Greedy-candidate PSD re-evaluation: cold full "
+                         "walks vs memoized dirty-cone pulls")
+def bench_incremental_reeval(samples: int | None = None, branches: int = 64,
+                             candidates: int = 24, n_psd: int = 512,
+                             seed: int = 7) -> dict:
+    """Single-node requantize edits on the wide scalability bank.
+
+    Replays the word-length optimizer's greedy candidate loop — one
+    single-node edit, one evaluation — twice on the same edit sequence:
+    once as cold full walks (memoization disabled, the pre-memo cost) and
+    once as memoized dirty-cone pulls, asserting the per-candidate noise
+    powers are bitwise identical before reporting the speedup.
+
+    ``samples`` is accepted for CLI uniformity but ignored: the workload
+    is graph-size-bound (``branches`` FIR branches under an unquantized
+    binary adder tree), not stimulus-bound.
+    """
+    del samples, seed  # deterministic workload; kept for CLI uniformity
+    from repro.analysis._engine import memoization_disabled, plan_memo
+    from repro.analysis.psd_method import evaluate_psd
+    from repro.sfg.plan import compile_plan
+    from repro.systems.families import build_scalability_bank
+
+    graph = build_scalability_bank(branches=branches)
+    plan = compile_plan(graph)
+    count = min(candidates, branches)
+    edits = [(f"branch{index}", 13 - index % 2) for index in range(count)]
+
+    def replay() -> list:
+        powers = []
+        with plan.preserve_quantization():
+            for name, bits in edits:
+                plan.requantize({name: bits})
+                powers.append(evaluate_psd(plan, n_psd).total_power)
+        return powers
+
+    def replay_cold() -> list:
+        with memoization_disabled():
+            return replay()
+
+    warmup: dict = {}
+    cold_powers, cold_seconds, warmup["full_walks"] = _timed_warm(replay_cold)
+    # Sync the memo on the restored baseline quantization so the timed
+    # run measures steady-state cone pulls, not the initial cold build.
+    evaluate_psd(plan, n_psd)
+    warm_powers, warm_seconds, warmup["dirty_cones"] = _timed_warm(replay)
+    _require_bitwise("incremental_reeval", cold_powers, warm_powers)
+    counters = plan_memo(plan).counters()
+    return bench_payload(
+        "incremental_reeval",
+        workload={"system": graph.name, "branches": branches,
+                  "steps": len(plan.steps), "candidates": count,
+                  "n_psd": n_psd,
+                  "steps_recomputed": counters["steps_recomputed"],
+                  "steps_reused": counters["steps_reused"]},
+        seconds={"full_walks": cold_seconds, "dirty_cones": warm_seconds,
+                 "full_per_candidate": cold_seconds / count,
+                 "cone_per_candidate": warm_seconds / count},
+        speedup={"per_candidate": cold_seconds / warm_seconds},
+        warmup_s=warmup, tags=("smoke", "analysis"))
+
+
 def run_benches(entries, results_dir, samples: int | None = None) -> list[dict]:
     """Run benches, write their BENCH_*.json files, return the payloads."""
     payloads = []
@@ -335,3 +398,27 @@ def check_against_baseline(payloads: list[dict], baseline: dict) -> list[str]:
                     f"{name}.{key}: speedup {value:.2f}x below the "
                     f"baseline floor {floor:g}x")
     return regressions
+
+
+def required_floor(baseline: dict, name: str, key: str,
+                   path=DEFAULT_BASELINE) -> float:
+    """The committed floor for ``floors.<name>.<key>``.
+
+    Raises a one-line :class:`ValueError` naming the baseline file and
+    the missing key when the entry is absent — a harness gating on a
+    floor must fail readably, not with a bare ``KeyError``.
+    """
+    entry = baseline.get("floors", {}).get(name)
+    if entry is None or key not in entry:
+        raise ValueError(
+            f"{path}: no baseline entry floors.{name}.{key} — commit the "
+            "speedup floor before gating on it")
+    return float(entry[key])
+
+
+def missing_baseline_entries(payloads: list[dict], baseline: dict) -> list[str]:
+    """Names of measured benches reporting speedups without any committed
+    floor — a new benchmark must not silently run ungated."""
+    floors = baseline.get("floors", {})
+    return sorted(payload["name"] for payload in payloads
+                  if payload.get("speedup") and payload["name"] not in floors)

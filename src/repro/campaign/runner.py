@@ -10,7 +10,11 @@ Execution strategy:
   job of the scenario through the configuration-batched evaluation paths
   (``evaluate_*_batch`` / ``SimulationEvaluator.evaluate_batch``), so a
   word-length grid costs one batched walk instead of one walk per grid
-  point;
+  point — and because all of a scenario's jobs share that one plan, they
+  also share its :class:`~repro.analysis._engine.NoiseMemo`: the batched
+  walks recompute only each grid's deviant cone, and the per-assignment
+  ``psd_tracked`` loop pays one dirty-cone delta per grid point (the
+  intra-graph counterpart of the cross-run content cache);
 * with ``workers > 1`` the per-scenario payloads run on a
   :class:`~concurrent.futures.ProcessPoolExecutor` (payloads are plain
   JSON-compatible dicts, so they pickle under any start method);

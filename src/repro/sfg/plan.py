@@ -28,7 +28,10 @@ times.
 Re-quantization — the word-length optimizer's inner loop — is supported in
 place through :meth:`CompiledPlan.requantize`; in-place *coefficient*
 edits (assigning to ``GainNode.gain`` and the like) are detected by
-:meth:`CompiledPlan.refresh`, which then drops the memoized responses;
+:meth:`CompiledPlan.refresh`, which then drops the *edited steps'*
+memoized responses and stamps those steps with a new plan epoch so the
+pull-based analytical engines (:mod:`repro.analysis._engine`) recompute
+only the dirty downstream cone instead of re-walking the whole graph;
 any *structural* change to the graph (adding / removing nodes or edges,
 swapping node objects) requires a new plan, which :func:`compile_plan`
 detects automatically.
@@ -143,6 +146,30 @@ class CompiledPlan:
         self.output_names: tuple[str, ...] = tuple(graph.output_names())
         self.output_indices: tuple[int, ...] = tuple(
             index_of[name] for name in self.output_names)
+        # Downstream-cone index: integer successor adjacency, the dual of
+        # each step's predecessor tuple.  The incremental engines use it to
+        # bound what an edit can influence (everything reachable from the
+        # dirty steps); like the schedule itself it is frozen at compile
+        # time because structural edits always produce a new plan.
+        successors: list[set[int]] = [set() for _ in steps]
+        for step in steps:
+            for predecessor in step.predecessors:
+                successors[predecessor].add(step.index)
+        self._successors: tuple[tuple[int, ...], ...] = tuple(
+            tuple(sorted(s)) for s in successors)
+        # Signatures iterate graph.nodes in insertion order while steps are
+        # topologically ordered; this maps signature position -> step index.
+        self._node_order: tuple[int, ...] = tuple(
+            index_of[name] for name in graph.nodes)
+        # Dirty tracking for the pull-based evaluation engines: the plan
+        # epoch counts refreshes that changed something, and each step
+        # records the epoch at which its *local evaluation signature*
+        # (coefficients, effective coefficient precision, own noise
+        # moments) last changed.  Consumers snapshot the epoch and later
+        # ask steps_dirty_since() for the steps to re-pull.
+        self._epoch = 0
+        self._step_epochs = np.zeros(len(steps), dtype=np.int64)
+        self._local_signatures: list[tuple | None] = [None] * len(steps)
         self._structure_signature = structure_signature(graph)
         self._quantization_signature: tuple = ()
         self._coefficient_signature: tuple = ()
@@ -172,36 +199,77 @@ class CompiledPlan:
     def refresh(self) -> bool:
         """Re-read the quantization specs and coefficients of every node.
 
-        Pre-constructed quantizers and noise moments are rebuilt when (and
-        only when) some spec changed since the last refresh; an in-place
-        coefficient change (e.g. assigning to ``GainNode.gain``)
-        additionally drops the memoized transfer functions and frequency
-        responses.  Returns whether anything was rebuilt.
+        Dirty marking is per step: quantizers and noise moments are
+        rebuilt only for the steps whose spec or coefficients actually
+        changed since the last refresh, an in-place coefficient change
+        (e.g. assigning to ``GainNode.gain``) additionally drops that
+        step's memoized transfer functions and frequency responses (every
+        cache key starts with the step index, so eviction is a key
+        filter, not a wholesale clear), and the plan epoch is bumped so
+        pull-based consumers (:class:`~repro.analysis._engine.NoiseMemo`)
+        can recompute just the downstream cone of the dirty steps.
+        Returns whether anything was rebuilt.
         """
+        num_steps = len(self.steps)
+        changed: set[int] = set()
         coefficients = coefficient_signature(self.graph)
         if coefficients != self._coefficient_signature:
+            previous = self._coefficient_signature
+            if len(previous) == len(coefficients) == num_steps:
+                edited = {self._node_order[i]
+                          for i, (was, now)
+                          in enumerate(zip(previous, coefficients))
+                          if was != now}
+            else:
+                edited = set(range(num_steps))
             self._coefficient_signature = coefficients
-            self._response_cache.clear()
-            self._tf_cache.clear()
-            self._gain_cache.clear()
+            for cache in (self._tf_cache, self._response_cache,
+                          self._gain_cache):
+                for key in [key for key in cache if key[0] in edited]:
+                    del cache[key]
             # Generated noise can depend on coefficients too (e.g. the
-            # frequency-domain FIR node), so fall through to the rebuild.
-            self._quantization_signature = ()
+            # frequency-domain FIR node), so the edited steps join the
+            # quantizer/noise rebuild below.
+            changed |= edited
         signature = quantization_signature(self.graph)
-        if signature == self._quantization_signature:
+        if signature != self._quantization_signature:
+            previous = self._quantization_signature
+            if len(previous) == len(signature) == num_steps:
+                changed |= {self._node_order[i]
+                            for i, (was, now)
+                            in enumerate(zip(previous, signature))
+                            if was != now}
+            else:
+                changed = set(range(num_steps))
+            self._quantization_signature = signature
+        if not changed:
             return False
-        self._quantization_signature = signature
-        noise_steps = []
-        for step in self.steps:
+        stamped = []
+        for index in sorted(changed):
+            step = self.steps[index]
             spec = step.node.quantization
             step.quantizer = spec.quantizer() if spec.enabled else None
             own = step.node.generated_noise()
-            if own.variance > 0.0 or own.mean != 0.0:
-                step.noise = own
-                noise_steps.append(step)
-            else:
-                step.noise = None
-        self.noise_steps = tuple(noise_steps)
+            step.noise = own if (own.variance > 0.0
+                                 or own.mean != 0.0) else None
+            # The local evaluation signature is what a step contributes to
+            # an analytical walk beyond its inputs: coefficient state,
+            # effective coefficient precision, own noise moments.  Spec
+            # edits that leave it untouched (e.g. a rounding-mode change
+            # on a disabled quantizer) rebuild the quantizer but do not
+            # dirty the analytical caches.
+            local = (_node_coefficient_state(step.node),
+                     self._coeff_key(step),
+                     None if step.noise is None
+                     else (step.noise.mean, step.noise.variance))
+            if local != self._local_signatures[index]:
+                self._local_signatures[index] = local
+                stamped.append(index)
+        self.noise_steps = tuple(step for step in self.steps
+                                 if step.noise is not None)
+        if stamped:
+            self._epoch += 1
+            self._step_epochs[stamped] = self._epoch
         # The codegen tape closes over quantized coefficients and steps:
         # mark its constants stale so the next fixed run rebinds them (the
         # tape *structure* is never rebuilt — satisfying the requantize
@@ -239,6 +307,57 @@ class CompiledPlan:
             for name, spec in saved.items():
                 self.graph.node(name).quantization = spec
             self.refresh()
+
+    # ------------------------------------------------------------------
+    # Dirty tracking (pull-based consumers)
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """Monotonic counter of refreshes that changed some step.
+
+        Pull-based consumers snapshot this after syncing and pass the
+        snapshot to :meth:`steps_dirty_since` on the next pull.
+        """
+        return self._epoch
+
+    def steps_dirty_since(self, epoch: int) -> np.ndarray:
+        """Indices of steps whose local signature changed after ``epoch``.
+
+        Call :meth:`refresh` first (or go through a path that does, such
+        as :meth:`requantize`) so pending in-place spec or coefficient
+        mutations are folded into the epoch counters.
+        """
+        return np.nonzero(self._step_epochs > epoch)[0]
+
+    def downstream_cone(self, indices) -> list[int]:
+        """Step indices reachable from ``indices``, seeds included.
+
+        The result is sorted, and therefore in topological order: it is
+        exactly the re-evaluation schedule for an edit at the seed steps,
+        everything outside it provably unaffected.
+        """
+        seen = {int(index) for index in indices}
+        frontier = list(seen)
+        while frontier:
+            for successor in self._successors[frontier.pop()]:
+                if successor not in seen:
+                    seen.add(successor)
+                    frontier.append(successor)
+        return sorted(seen)
+
+    def coefficient_fingerprint(self) -> tuple:
+        """Hashable fingerprint of the plan's transfer behaviour.
+
+        Covers everything the symbolic transfer functions and
+        double-precision reference runs depend on: the coefficient state
+        of every node plus its effective coefficient precision.  Two plan
+        states with equal fingerprints have bit-identical path functions
+        and reference simulations — the cache key of the flat method's
+        path-function memo and the simulation method's reference-run memo.
+        Call :meth:`refresh` first so pending mutations are folded in.
+        """
+        return (self._coefficient_signature,
+                tuple(self._coeff_key(step) for step in self.steps))
 
     def _coeff_key(self, step: PlanStep):
         spec = step.node.quantization

@@ -42,6 +42,8 @@ from repro.systems.families import (
     build_fft_butterfly,
     build_interpolator_chain,
     build_polyphase_decimator,
+    build_scalability_bank,
+    build_scalability_chain,
 )
 from repro.systems.random_graphs import build_random_graph, random_assignments
 from repro.systems.wordlength import WordLengthOptimizer, WordLengthResult
@@ -69,6 +71,8 @@ __all__ = [
     "build_fft_butterfly",
     "build_interpolator_chain",
     "build_polyphase_decimator",
+    "build_scalability_bank",
+    "build_scalability_chain",
     "build_random_graph",
     "random_assignments",
     "WordLengthOptimizer",

@@ -21,7 +21,14 @@ stacks and the word-length optimizer) applies unchanged:
   fixed-point FFT noise structure;
 * :func:`build_dwt97_bank` — the one-level Daubechies 9/7 analysis +
   synthesis bank as a multirate SFG (the paper's DWT benchmark reduced
-  to its filter-bank core).
+  to its filter-bank core);
+* :func:`build_scalability_chain` / :func:`build_scalability_bank` — the
+  deterministic scalability workloads shared by the ablation and
+  incremental-re-evaluation benchmarks: an FIR cascade (deep graph, every
+  edit's downstream cone is most of the graph) and a wide FIR bank merged
+  by an unquantized binary adder tree (shallow cones — a one-branch edit
+  touches only that branch plus its ``log2`` adder path, the structure
+  the dirty-cone memoization is fastest on).
 
 All builders share the convention of the Table-I systems: the input is
 quantized to ``fractional_bits`` and every arithmetic block re-quantizes
@@ -237,6 +244,68 @@ def build_fft_butterfly(stages: int = 3, bin_index: int = 1,
                              fractional_bits=fractional_bits,
                              rounding=rounding)
     builder.output("y", signal)
+    return builder.build()
+
+
+def build_scalability_chain(num_blocks: int, taps_per_block: int = 33,
+                            fractional_bits: int = 14,
+                            name: str | None = None) -> SignalFlowGraph:
+    """A cascade of ``num_blocks`` quantized FIR low-passes.
+
+    The scalability ablation's chain workload: evaluation cost grows
+    linearly with ``num_blocks``, and any single-node edit dirties every
+    downstream block, making it the *worst* case for dirty-cone
+    memoization (the cone of an early edit is almost the whole graph).
+    Cutoffs cycle deterministically so consecutive blocks differ.
+    """
+    if num_blocks < 1:
+        raise ValueError(f"need at least one block, got {num_blocks}")
+    builder = SfgBuilder(name or f"chain-{num_blocks}")
+    previous = builder.input("x", fractional_bits=fractional_bits)
+    for index in range(num_blocks):
+        cutoff = 0.3 + 0.4 * (index % 5) / 5.0
+        previous = builder.fir(f"block{index}",
+                               design_fir_lowpass(taps_per_block, cutoff),
+                               previous, fractional_bits=fractional_bits)
+    builder.output("y", previous)
+    return builder.build()
+
+
+def build_scalability_bank(branches: int = 64, taps: int = 17,
+                           fractional_bits: int = 14,
+                           name: str | None = None) -> SignalFlowGraph:
+    """A wide bank of quantized FIR branches under a binary adder tree.
+
+    The incremental-re-evaluation benchmark's workload: ``branches``
+    parallel FIR filters (one noise source each, cutoffs cycled
+    deterministically) merged by an *unquantized* binary adder tree, so a
+    one-branch word-length edit dirties only that branch plus its
+    ``log2(branches)``-deep adder path — the best case for dirty-cone
+    memoization, and the shape of the word-length optimizer's greedy
+    candidate loop.
+    """
+    if branches < 2:
+        raise ValueError(f"need at least two branches, got {branches}")
+    builder = SfgBuilder(name or f"scalability-bank-{branches}")
+    x = builder.input("x", fractional_bits=fractional_bits)
+    level = [builder.fir(f"branch{index}",
+                         design_fir_lowpass(taps,
+                                            0.2 + 0.6 * (index % 7) / 7.0),
+                         x, fractional_bits=fractional_bits)
+             for index in range(branches)]
+    # Unquantized adders: they add no noise sources of their own, so the
+    # bank has exactly one source per branch and the tree only routes.
+    depth = 0
+    while len(level) > 1:
+        merged = []
+        for pair in range(0, len(level) - 1, 2):
+            merged.append(builder.add(f"merge{depth}_{pair // 2}",
+                                      [level[pair], level[pair + 1]]))
+        if len(level) % 2:
+            merged.append(level[-1])
+        level = merged
+        depth += 1
+    builder.output("y", level[0])
     return builder.build()
 
 

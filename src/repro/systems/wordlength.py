@@ -22,11 +22,19 @@ The optimizer compiles the graph into a
 :class:`~repro.sfg.plan.CompiledPlan` once and re-quantizes it in place
 across search iterations, so the topological schedule and the memoized
 per-node frequency responses are shared by the (typically hundreds of)
-candidate evaluations.  By default every greedy round additionally
-evaluates *all* of its single-bit-decrement candidates as one
-configuration-batched pass (``evaluate_*_batch``) instead of one walk per
-candidate; the batched pass is bit-identical to the sequential loop, which
-``batch=False`` keeps available as a reference.
+candidate evaluations.  Three evaluation modes cover the cost/diagnosis
+trade-offs, all bit-identical in their results:
+
+* ``incremental`` (default) — each greedy candidate is a single-node
+  delta against the incumbent :class:`~repro.analysis._engine.NoiseMemo`:
+  the plan marks the edited node dirty and the evaluator re-walks only
+  its downstream cone, O(depth) instead of O(nodes) per candidate.
+* ``batch`` — every round's single-bit-decrement candidates run as one
+  configuration-batched pass (``evaluate_*_batch``), the amortized
+  cross-check of the incremental path.
+* ``sequential`` — one *cold* full walk per candidate (the memo is
+  disabled), the honest O(nodes) baseline the speed-up benchmarks
+  measure against.
 """
 
 from __future__ import annotations
@@ -35,6 +43,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.analysis._engine import memoization_disabled, plan_memo
 from repro.analysis.agnostic_method import (
     evaluate_agnostic,
     evaluate_agnostic_batch,
@@ -45,6 +54,7 @@ from repro.sfg.graph import SignalFlowGraph
 from repro.sfg.plan import compile_plan
 
 _METHODS = ("psd", "flat", "agnostic")
+_MODES = ("incremental", "batch", "sequential")
 
 
 @dataclass
@@ -70,6 +80,18 @@ class WordLengthResult:
     history:
         Sequence of ``(assignment cost, noise power)`` pairs recorded
         after every accepted move.
+    full_walks:
+        How many of the evaluations re-walked the whole graph: cold
+        memo builds in ``incremental``/``batch`` mode, every evaluation
+        in ``sequential`` mode.  Together with ``cone_recomputes`` this
+        makes the work actually saved by incremental re-evaluation
+        reportable, instead of hiding delta evaluations and full walks
+        behind one number.
+    cone_recomputes:
+        How many evaluations were served as dirty-cone deltas against
+        the incumbent :class:`~repro.analysis._engine.NoiseMemo`
+        (always 0 in ``sequential`` mode; ``flat``-method savings show
+        up as path-function cache hits instead of cone recomputes).
     """
 
     assignment: dict[str, int]
@@ -78,6 +100,8 @@ class WordLengthResult:
     total_bits: int
     evaluations: int
     history: list = field(default_factory=list)
+    full_walks: int = 0
+    cone_recomputes: int = 0
 
 
 class WordLengthOptimizer:
@@ -96,28 +120,47 @@ class WordLengthOptimizer:
         PSD bins for the PSD-based evaluator.
     min_bits, max_bits:
         Search range for every node's fractional word length.
+    mode:
+        Candidate-evaluation strategy: ``"incremental"`` (default —
+        per-candidate dirty-cone deltas against the plan's noise memo),
+        ``"batch"`` (one configuration-batched pass per greedy round) or
+        ``"sequential"`` (one cold full walk per candidate, memoization
+        disabled).  All three return bit-identical assignments; the
+        non-default modes exist as the cross-check and the honest
+        timing baseline.
     batch:
-        Whether each greedy round evaluates its candidates as one
-        configuration-batched pass (default) or one evaluation per
-        candidate.  Both paths return bit-identical assignments; the
-        sequential path exists as the equivalence / timing baseline.
+        Back-compat alias: ``batch=True`` means ``mode="batch"``,
+        ``batch=False`` means ``mode="sequential"``.  Leave both unset
+        for the incremental default.
     """
 
     def __init__(self, graph: SignalFlowGraph, method: str = "psd",
                  n_psd: int = 256, min_bits: int = 4, max_bits: int = 24,
-                 batch: bool = True):
+                 batch: bool | None = None, mode: str | None = None):
         if min_bits < 1 or max_bits < min_bits:
             raise ValueError(
                 f"invalid bit range [{min_bits}, {max_bits}]")
         if method not in _METHODS:
             raise ValueError(
                 f"unknown method {method!r}; expected one of {_METHODS}")
+        if mode is None:
+            mode = ("incremental" if batch is None
+                    else "batch" if batch else "sequential")
+        elif mode not in _MODES:
+            raise ValueError(
+                f"unknown mode {mode!r}; expected one of {_MODES}")
+        elif batch is not None and mode != ("batch" if batch
+                                            else "sequential"):
+            raise ValueError(
+                f"conflicting batch={batch!r} and mode={mode!r}; pass "
+                "only mode (batch is the legacy alias)")
         self.graph = graph
         self.method = method
         self.n_psd = n_psd
         self.min_bits = min_bits
         self.max_bits = max_bits
-        self.batch = batch
+        self.mode = mode
+        self.batch = mode == "batch"
         self._evaluations = 0
         # The graph is compiled once; the search re-quantizes the plan in
         # place, so the schedule and the memoized per-node frequency
@@ -135,9 +178,22 @@ class WordLengthOptimizer:
         self._plan.requantize(assignment)
 
     def _noise_power(self, assignment: dict[str, int]) -> float:
-        """Evaluate one assignment (requantizes the plan in place)."""
+        """Evaluate one assignment (requantizes the plan in place).
+
+        In ``sequential`` mode the per-plan noise memo is disabled for
+        the evaluation, so every candidate costs one cold full walk —
+        the honest O(nodes) baseline.  The other modes pull from the
+        memo: a one-node candidate edit recomputes only its dirty
+        downstream cone.
+        """
         self._apply(assignment)
         self._evaluations += 1
+        if self.mode == "sequential":
+            with memoization_disabled():
+                return self._evaluate_current()
+        return self._evaluate_current()
+
+    def _evaluate_current(self) -> float:
         if self.method == "psd":
             return evaluate_psd(self._plan, self.n_psd).total_power
         if self.method == "flat":
@@ -145,8 +201,10 @@ class WordLengthOptimizer:
         return evaluate_agnostic(self._plan).power
 
     def _noise_powers(self, candidates: list[dict]) -> np.ndarray:
-        """Evaluate a whole candidate round, batched when enabled."""
-        if not self.batch:
+        """Evaluate a whole candidate round (strategy per ``mode``)."""
+        if self.mode != "batch":
+            # incremental: each candidate is a single-node delta against
+            # the incumbent memo; sequential: one cold walk each.
             return np.array([self._noise_power(candidate)
                              for candidate in candidates])
         self._evaluations += len(candidates)
@@ -196,6 +254,9 @@ class WordLengthOptimizer:
     def optimize(self, budget: float) -> WordLengthResult:
         """Run the full greedy refinement under a noise-power budget."""
         self._evaluations = 0
+        memo = (plan_memo(self._plan) if self.mode != "sequential"
+                else None)
+        counters_before = memo.counters() if memo is not None else None
         assignment, current_power = self._uniform_search(budget)
         history = [(sum(assignment.values()), current_power)]
 
@@ -230,6 +291,17 @@ class WordLengthOptimizer:
         # the assignment (or from the uniform search) — re-quantize the
         # plan to the winner without paying another evaluation.
         self._apply(assignment)
+        if memo is not None:
+            counters = memo.counters()
+            full_walks = (counters["full_walks"]
+                          - counters_before["full_walks"])
+            cone_recomputes = (counters["cone_recomputes"]
+                               - counters_before["cone_recomputes"])
+        else:
+            # Sequential mode walks the whole graph once per evaluation
+            # by construction.
+            full_walks = self._evaluations
+            cone_recomputes = 0
         return WordLengthResult(
             assignment=dict(assignment),
             noise_power=current_power,
@@ -237,4 +309,6 @@ class WordLengthOptimizer:
             total_bits=sum(assignment.values()),
             evaluations=self._evaluations,
             history=history,
+            full_walks=full_walks,
+            cone_recomputes=cone_recomputes,
         )

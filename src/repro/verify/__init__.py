@@ -8,10 +8,10 @@ CLI subcommand:
 
 * :mod:`~repro.verify.legacy` — the naive pre-compiled-plan reference
   traversals (the semantics every engine must reproduce bitwise);
-* :mod:`~repro.verify.differential` — the five differential checks on
+* :mod:`~repro.verify.differential` — the six differential checks on
   one graph: serialization round-trip, plan-vs-legacy bitwise
-  equivalence, batched-vs-sequential equality and the analytical-vs-
-  simulation ``Ed`` band;
+  equivalence, batched-vs-sequential equality, the analytical-vs-
+  simulation ``Ed`` band and incremental-vs-cold bitwise identity;
 * :mod:`~repro.verify.fuzz` — the seeded fuzzing driver: verify a seed
   range, shrink every failure to its simplest reproducing generator
   configuration and dump serialized regression artifacts.

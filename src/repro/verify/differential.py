@@ -1,6 +1,6 @@
 """Cross-engine differential verification of one signal-flow graph.
 
-One graph, five independent consistency obligations — exactly the
+One graph, six independent consistency obligations — exactly the
 contracts the fixture suites pin on the hand-built systems, generalized
 so they can be asserted on *any* graph (in particular the seeded random
 graphs of :mod:`repro.systems.random_graphs`):
@@ -22,7 +22,12 @@ graphs of :mod:`repro.systems.random_graphs`):
    for bit (analytical engines and the Monte-Carlo reference);
 5. **ed_band** — the proposed PSD estimate tracks the Monte-Carlo
    measurement within the paper's sub-one-bit ``Ed`` band
-   ``(-300 %, +75 %)``.
+   ``(-300 %, +75 %)``;
+6. **incremental** — the memoized dirty-cone re-evaluation
+   (:class:`~repro.analysis._engine.NoiseMemo`) stays *bitwise
+   identical* to a cold full walk across a seeded sequence of
+   ``requantize`` edits (multirate graphs included), against a freshly
+   compiled plan, and through the configuration-batched walks.
 
 Every check is exception-safe: an engine that crashes on a generated
 graph is reported as that check's failure (with the exception text), not
@@ -41,6 +46,7 @@ from repro.analysis.agnostic_method import (
     evaluate_agnostic,
     evaluate_agnostic_batch,
 )
+from repro.analysis._engine import memoization_disabled, plan_memo
 from repro.analysis.evaluator import AccuracyEvaluator
 from repro.analysis.flat_method import evaluate_flat, evaluate_flat_batch
 from repro.analysis.metrics import is_sub_one_bit
@@ -53,7 +59,7 @@ from repro.analysis.simulation_method import SimulationEvaluator
 from repro.data.signals import uniform_white_noise
 from repro.sfg.executor import SfgExecutor
 from repro.sfg.graph import SignalFlowGraph, is_multirate
-from repro.sfg.plan import compile_plan
+from repro.sfg.plan import CompiledPlan, compile_plan
 from repro.sfg.serialization import graph_fingerprint, graph_from_dict, graph_to_dict
 from repro.systems.random_graphs import COMPATIBLE_N_PSD, random_assignments
 from repro.verify.legacy import (
@@ -64,9 +70,9 @@ from repro.verify.legacy import (
     legacy_tracked,
 )
 
-#: The five differential obligations, in the order they are run.
+#: The six differential obligations, in the order they are run.
 CHECK_NAMES = ("round_trip", "plan_vs_legacy", "backend_equality",
-               "batch_vs_sequential", "ed_band")
+               "batch_vs_sequential", "ed_band", "incremental")
 
 
 @dataclass(frozen=True)
@@ -124,7 +130,7 @@ def _stimulus(graph: SignalFlowGraph, samples: int, seed: int) -> dict:
 
 
 # ----------------------------------------------------------------------
-# The five checks
+# The six checks
 # ----------------------------------------------------------------------
 def _check_round_trip(graph, plan, **options):
     data = graph_to_dict(graph)
@@ -253,12 +259,94 @@ def _check_ed_band(graph, plan, *, seed, n_psd, ed_samples,
     return f"Ed = {100.0 * report.ed:.1f}%"
 
 
+def _check_incremental(graph, plan, *, seed, n_psd, batch_configs,
+                       **options):
+    single_rate = not is_multirate(graph)
+    edits = random_assignments(graph, seed + 3, 4)
+    memo = plan_memo(plan)
+    with plan.preserve_quantization():
+        # Warm every memo channel on the current quantization, then
+        # replay a seeded requantize-edit sequence: each memoized pull
+        # (recomputing only the edit's dirty downstream cone) must be
+        # bitwise identical to a cold full walk of the same state.
+        evaluate_psd(plan, n_psd)
+        evaluate_agnostic(plan)
+        if single_rate:
+            evaluate_psd_tracked(plan, n_psd)
+        before = memo.counters()["cone_recomputes"]
+        for index, assignment in enumerate(edits):
+            plan.requantize(assignment)
+            warm_psd = evaluate_psd(plan, n_psd)
+            warm_stats = evaluate_agnostic(plan)
+            warm_tracked = (evaluate_psd_tracked(plan, n_psd)
+                            if single_rate else None)
+            warm_flat = evaluate_flat(plan) if single_rate else None
+            with memoization_disabled():
+                cold_psd = evaluate_psd(plan, n_psd)
+                cold_stats = evaluate_agnostic(plan)
+                cold_tracked = (evaluate_psd_tracked(plan, n_psd)
+                                if single_rate else None)
+                cold_flat = evaluate_flat(plan) if single_rate else None
+            _require(np.array_equal(warm_psd.ac, cold_psd.ac)
+                     and warm_psd.mean == cold_psd.mean,
+                     f"incremental psd after edit {index} differs from "
+                     "the cold full walk")
+            _require(warm_stats.mean == cold_stats.mean
+                     and warm_stats.variance == cold_stats.variance,
+                     f"incremental agnostic walk after edit {index} "
+                     "differs from the cold full walk")
+            if single_rate:
+                _require(np.array_equal(warm_tracked.ac, cold_tracked.ac)
+                         and warm_tracked.mean == cold_tracked.mean,
+                         f"incremental tracked walk after edit {index} "
+                         "differs from the cold full walk")
+                _require(warm_flat.mean == cold_flat.mean
+                         and warm_flat.variance == cold_flat.variance,
+                         f"memoized flat evaluation after edit {index} "
+                         "differs from the cold path composition")
+        cones = memo.counters()["cone_recomputes"] - before
+
+        # A freshly compiled plan of the edited graph has never seen the
+        # edit history at all — its cold build must agree with the
+        # incrementally maintained state.
+        fresh = CompiledPlan(graph)
+        fresh_psd = evaluate_psd(fresh, n_psd)
+        final_psd = evaluate_psd(plan, n_psd)
+        _require(np.array_equal(final_psd.ac, fresh_psd.ac)
+                 and final_psd.mean == fresh_psd.mean,
+                 "incrementally maintained state differs from a freshly "
+                 "compiled plan")
+
+        # The batched walks broadcast the memo's values outside each
+        # stack's deviant cone; the rows must still match the
+        # memo-blind batched evaluation bit for bit.
+        stacks = random_assignments(graph, seed + 4, batch_configs)
+        warm_psd_stack = evaluate_psd_batch(plan, n_psd, stacks)
+        warm_agnostic = evaluate_agnostic_batch(plan, stacks)
+        with memoization_disabled():
+            cold_psd_stack = evaluate_psd_batch(plan, n_psd, stacks)
+            cold_agnostic = evaluate_agnostic_batch(plan, stacks)
+        _require(np.array_equal(warm_psd_stack.ac, cold_psd_stack.ac)
+                 and np.array_equal(warm_psd_stack.mean,
+                                    cold_psd_stack.mean),
+                 "memoized psd batch walk differs from the memo-blind "
+                 "batched evaluation")
+        _require(np.array_equal(warm_agnostic.mean, cold_agnostic.mean)
+                 and np.array_equal(warm_agnostic.variance,
+                                    cold_agnostic.variance),
+                 "memoized agnostic batch walk differs from the "
+                 "memo-blind batched evaluation")
+    return (f"{len(edits)} edits bit-identical to cold walks "
+            f"({cones} cone recomputes)")
+
+
 _CHECKS = {
     "round_trip": _check_round_trip,
     "plan_vs_legacy": _check_plan_vs_legacy,
     "backend_equality": _check_backend_equality,
     "batch_vs_sequential": _check_batch_vs_sequential,
     "ed_band": _check_ed_band,
+    "incremental": _check_incremental,
 }
 
 

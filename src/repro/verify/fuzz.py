@@ -2,7 +2,7 @@
 
 The driver behind the ``fuzz`` CLI subcommand: for every seed it builds a
 random graph (:func:`repro.systems.random_graphs.build_random_graph`),
-runs the five differential checks
+runs the six differential checks
 (:func:`repro.verify.differential.verify_graph`) and, when a graph fails,
 
 * **shrinks** the failure — regenerates the same seed at every smaller

@@ -1,0 +1,264 @@
+"""Unit coverage of incremental re-evaluation (:mod:`repro.analysis._engine`).
+
+The differential ``incremental`` check fuzzes the contract over random
+graphs; this suite pins the pieces on hand-built systems: the plan's
+epoch / dirty-cone machinery, the :class:`NoiseMemo` pull rules and
+counters, bitwise identity of cone recomputes against cold walks, the
+memo-backed batched walks, the scoped :func:`memoization_disabled`
+toggle, the flat method's path-function cache and the simulation
+evaluator's reference-run memo.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis._engine import (
+    memoization_disabled,
+    memoization_enabled,
+    plan_memo,
+)
+from repro.analysis.agnostic_method import evaluate_agnostic
+from repro.analysis.flat_method import evaluate_flat, source_path_functions
+from repro.analysis.psd_method import (
+    evaluate_psd,
+    evaluate_psd_batch,
+    evaluate_psd_tracked,
+)
+from repro.analysis.simulation_method import SimulationEvaluator
+from repro.data.signals import uniform_white_noise
+from repro.lti.fir_design import design_fir_highpass, design_fir_lowpass
+from repro.sfg.builder import SfgBuilder
+from repro.sfg.plan import CompiledPlan, compile_plan
+from repro.systems.families import build_dwt97_bank, build_scalability_bank
+
+
+def _fork_graph(bits=12):
+    """input -> lp -> {hp, gain} -> add: one step with two successors."""
+    builder = SfgBuilder("fork")
+    x = builder.input("x", fractional_bits=bits)
+    lp = builder.fir("lp", design_fir_lowpass(9, 0.4), x,
+                     fractional_bits=bits)
+    hp = builder.fir("hp", design_fir_highpass(9, 0.5), lp,
+                     fractional_bits=bits)
+    g = builder.gain("g", 0.5, lp, fractional_bits=bits)
+    merged = builder.add("sum", [hp, g], fractional_bits=bits)
+    builder.output("y", merged)
+    return builder.build()
+
+
+class TestPlanEpochs:
+    def test_requantize_stamps_only_changed_cone_roots(self):
+        plan = compile_plan(_fork_graph())
+        epoch = plan.epoch
+        plan.requantize({"hp": 10})
+        assert plan.epoch == epoch + 1
+        dirty = plan.steps_dirty_since(epoch)
+        assert [plan.steps[i].node.name for i in dirty] == ["hp"]
+
+    def test_noop_requantize_does_not_bump_the_epoch(self):
+        plan = compile_plan(_fork_graph(bits=12))
+        epoch = plan.epoch
+        plan.requantize({"hp": 12})  # already at 12 bits
+        assert plan.epoch == epoch
+        assert plan.steps_dirty_since(epoch).size == 0
+
+    def test_downstream_cone_is_topological_and_transitive(self):
+        plan = compile_plan(_fork_graph())
+        lp = plan.index_of["lp"]
+        cone = plan.downstream_cone([lp])
+        names = [plan.steps[i].node.name for i in cone]
+        # lp feeds both hp and g, which merge into sum and the output.
+        assert names == ["lp", "hp", "g", "sum", "y"] or \
+            set(names) == {"lp", "hp", "g", "sum", "y"}
+        assert cone == sorted(cone)
+
+    def test_fresh_plan_starts_clean(self):
+        plan = CompiledPlan(_fork_graph())
+        assert plan.steps_dirty_since(plan.epoch).size == 0
+
+
+class TestNoiseMemoPulls:
+    @pytest.mark.parametrize("bits", [10, 12])
+    def test_pure_hit_leaves_counters_alone(self, bits):
+        plan = compile_plan(_fork_graph(bits=bits))
+        memo = plan_memo(plan)
+        first = evaluate_psd(plan, 64)
+        after_build = memo.counters()
+        assert after_build["full_walks"] == 1
+        second = evaluate_psd(plan, 64)
+        assert memo.counters() == after_build
+        assert np.array_equal(first.ac, second.ac)
+        assert first.mean == second.mean
+
+    def test_cone_recompute_matches_cold_walk_bitwise(self):
+        plan = compile_plan(_fork_graph())
+        evaluate_psd(plan, 64)
+        evaluate_agnostic(plan)
+        evaluate_psd_tracked(plan, 64)
+        plan.requantize({"g": 8})
+        warm_psd = evaluate_psd(plan, 64)
+        warm_stats = evaluate_agnostic(plan)
+        warm_tracked = evaluate_psd_tracked(plan, 64)
+        with memoization_disabled():
+            cold_psd = evaluate_psd(plan, 64)
+            cold_stats = evaluate_agnostic(plan)
+            cold_tracked = evaluate_psd_tracked(plan, 64)
+        assert np.array_equal(warm_psd.ac, cold_psd.ac)
+        assert warm_psd.mean == cold_psd.mean
+        assert warm_stats.mean == cold_stats.mean
+        assert warm_stats.variance == cold_stats.variance
+        assert np.array_equal(warm_tracked.ac, cold_tracked.ac)
+        assert warm_tracked.mean == cold_tracked.mean
+
+    def test_cone_recompute_touches_only_the_cone(self):
+        bank = build_scalability_bank(branches=8)
+        plan = compile_plan(bank)
+        memo = plan_memo(plan)
+        evaluate_psd(plan, 64)
+        built = memo.counters()["steps_recomputed"]
+        assert built == len(plan.steps)
+        plan.requantize({"branch0": 10})
+        evaluate_psd(plan, 64)
+        counters = memo.counters()
+        assert counters["cone_recomputes"] == 1
+        cone = counters["steps_recomputed"] - built
+        # branch0 + its adder path, strictly less than the whole bank.
+        assert 1 < cone < len(plan.steps)
+        assert counters["steps_reused"] > 0
+
+    def test_multirate_graph_memoizes_too(self):
+        plan = compile_plan(build_dwt97_bank())
+        evaluate_psd(plan, 64)
+        plan.requantize({"g0": 9})
+        warm = evaluate_psd(plan, 64)
+        with memoization_disabled():
+            cold = evaluate_psd(plan, 64)
+        assert np.array_equal(warm.ac, cold.ac)
+        assert warm.mean == cold.mean
+
+    def test_memo_is_per_plan_and_rebuilt_with_it(self):
+        graph = _fork_graph()
+        plan = compile_plan(graph)
+        memo = plan_memo(plan)
+        assert plan_memo(plan) is memo
+        assert plan_memo(graph) is memo  # resolves through compile_plan
+        assert plan_memo(compile_plan(graph)) is memo
+
+
+class TestBatchedWalksWithMemo:
+    def test_batch_rows_match_memo_blind_batch_bitwise(self):
+        plan = compile_plan(_fork_graph())
+        evaluate_psd(plan, 64)  # warm the scalar memo the batch broadcasts
+        assignments = [{"hp": 9}, {"hp": 12, "g": 7}, {}]
+        warm = evaluate_psd_batch(plan, 64, assignments)
+        with memoization_disabled():
+            cold = evaluate_psd_batch(plan, 64, assignments)
+        assert np.array_equal(warm.ac, cold.ac)
+        assert np.array_equal(warm.mean, cold.mean)
+
+    def test_broadcast_preserves_negative_zero(self):
+        # Out-of-cone rows are broadcast from the memoized scalar values;
+        # adding 0.0 instead would flip -0.0 to +0.0 and break bitwise
+        # identity with the sequential walk.
+        plan = compile_plan(_fork_graph())
+        evaluate_psd(plan, 64)
+        stack = evaluate_psd_batch(plan, 64, [{}, {"g": 6}])
+        plan.requantize({})
+        scalar = evaluate_psd(plan, 64)
+        assert np.array_equal(stack.ac[0], scalar.ac)
+        assert stack.mean[0] == scalar.mean
+
+
+class TestMemoizationToggle:
+    def test_scoped_and_reentrant(self):
+        assert memoization_enabled()
+        with memoization_disabled():
+            assert not memoization_enabled()
+            with memoization_disabled():
+                assert not memoization_enabled()
+            assert not memoization_enabled()
+        assert memoization_enabled()
+
+    def test_disabled_walks_do_not_touch_the_memo(self):
+        plan = compile_plan(_fork_graph())
+        with memoization_disabled():
+            evaluate_psd(plan, 64)
+        assert plan_memo(plan).counters()["full_walks"] == 0
+
+
+class TestFlatPathFunctionCache:
+    def test_repeat_call_served_from_cache(self):
+        plan = compile_plan(_fork_graph())
+        first = source_path_functions(plan)
+        cache = plan_memo(plan).path_functions
+        assert len(cache) == 1
+        second = source_path_functions(plan)
+        assert len(cache) == 1
+        assert first.keys() == second.keys()
+        assert first is not second  # callers get their own dict
+        assert evaluate_flat(plan).power == evaluate_flat(plan).power
+
+    def test_coefficient_edit_misses_data_edit_hits(self):
+        # Path functions depend only on effective coefficient precision;
+        # the graph ties coefficient bits to the data path, so a
+        # requantize changes the fingerprint and must miss.
+        plan = compile_plan(_fork_graph())
+        source_path_functions(plan)
+        fingerprint = plan.coefficient_fingerprint()
+        plan.requantize({"hp": 9})
+        assert plan.coefficient_fingerprint() != fingerprint
+        source_path_functions(plan)
+        assert len(plan_memo(plan).path_functions) == 2
+
+    def test_disabled_bypasses_the_cache(self):
+        plan = compile_plan(_fork_graph())
+        with memoization_disabled():
+            source_path_functions(plan)
+        assert len(plan_memo(plan).path_functions) == 0
+
+
+class TestSimulationReferenceMemo:
+    def _evaluator_and_stimulus(self):
+        plan = compile_plan(_fork_graph())
+        evaluator = SimulationEvaluator(plan)
+        stimulus = {"x": uniform_white_noise(512, seed=3)}
+        return plan, evaluator, stimulus
+
+    def test_reference_run_reused_across_data_path_edits(self, monkeypatch):
+        plan, evaluator, stimulus = self._evaluator_and_stimulus()
+        first = evaluator.error_signal(stimulus)
+        executor = evaluator._executor
+        real_run_pair = executor.run_pair
+        calls = {"run_pair": 0}
+
+        def counting_run_pair(*args, **kwargs):
+            calls["run_pair"] += 1
+            return real_run_pair(*args, **kwargs)
+
+        monkeypatch.setattr(executor, "run_pair", counting_run_pair)
+        second = evaluator.error_signal(stimulus)
+        assert calls["run_pair"] == 0  # reference leg served from memo
+        assert np.array_equal(first, second)
+
+    def test_memo_results_match_disabled_runs_bitwise(self):
+        plan, evaluator, stimulus = self._evaluator_and_stimulus()
+        evaluator.error_signal(stimulus)  # prime the reference memo
+        memoized = evaluator.error_signal(stimulus)
+        with memoization_disabled():
+            cold = evaluator.error_signal(stimulus)
+        assert np.array_equal(memoized, cold)
+
+    def test_different_stimulus_misses(self, monkeypatch):
+        plan, evaluator, stimulus = self._evaluator_and_stimulus()
+        evaluator.error_signal(stimulus)
+        executor = evaluator._executor
+        real_run_pair = executor.run_pair
+        calls = {"run_pair": 0}
+
+        def counting_run_pair(*args, **kwargs):
+            calls["run_pair"] += 1
+            return real_run_pair(*args, **kwargs)
+
+        monkeypatch.setattr(executor, "run_pair", counting_run_pair)
+        evaluator.error_signal({"x": uniform_white_noise(512, seed=4)})
+        assert calls["run_pair"] == 1

@@ -8,6 +8,7 @@ bitwise-identity guard that refuses to report a speedup for a kernel
 that drifted.
 """
 
+import functools
 import json
 
 import numpy as np
@@ -16,6 +17,7 @@ import pytest
 from repro.bench import (
     BENCH_SCHEMA,
     bench_entries,
+    bench_incremental_reeval,
     bench_payload,
     bench_sim_engine_ff,
     bench_sim_engine_iir,
@@ -23,6 +25,8 @@ from repro.bench import (
     check_against_baseline,
     load_baseline,
     load_bench_json,
+    missing_baseline_entries,
+    required_floor,
     write_bench_json,
 )
 from repro.simkernel import numba_available
@@ -55,7 +59,8 @@ class TestRegistry:
     def test_every_entry_is_tagged_and_described(self):
         entries = bench_entries()
         assert {entry.name for entry in entries} >= {
-            "sim_engine_ff", "sim_engine_iir", "welch_psd"}
+            "sim_engine_ff", "sim_engine_iir", "welch_psd",
+            "incremental_reeval"}
         for entry in entries:
             assert entry.tags and entry.description
 
@@ -108,11 +113,60 @@ class TestBaselineComparison:
             assert regressions == []
 
 
+class TestBaselineGating:
+    """Floors must exist before a bench may gate on them."""
+
+    def test_required_floor_returns_committed_value(self):
+        baseline = {"schema": 1, "floors": {"b1": {"k": 2.5}}}
+        assert required_floor(baseline, "b1", "k") == 2.5
+
+    def test_required_floor_names_the_missing_key(self, tmp_path):
+        baseline = {"schema": 1, "floors": {"b1": {"k": 2.5}}}
+        path = tmp_path / "baseline.json"
+        with pytest.raises(ValueError, match=r"floors\.b1\.other"):
+            required_floor(baseline, "b1", "other", path)
+        with pytest.raises(ValueError) as excinfo:
+            required_floor(baseline, "b2", "k", path)
+        assert str(path) in str(excinfo.value)
+        assert "floors.b2.k" in str(excinfo.value)
+
+    def test_missing_baseline_entries_flags_unfloored_speedups(self):
+        payloads = [
+            bench_payload("floored", workload={}, seconds={},
+                          speedup={"k": 3.0}),
+            bench_payload("unfloored_b", workload={}, seconds={},
+                          speedup={"k": 3.0}),
+            bench_payload("unfloored_a", workload={}, seconds={},
+                          speedup={"k": 3.0}),
+            bench_payload("timing_only", workload={}, seconds={"k": 0.1}),
+        ]
+        baseline = {"schema": 1, "floors": {"floored": {"k": 1.0}}}
+        # Sorted, speedup-less payloads excluded, floored payloads excluded.
+        assert missing_baseline_entries(payloads, baseline) == [
+            "unfloored_a", "unfloored_b"]
+        baseline["floors"]["unfloored_a"] = {"k": 1.0}
+        baseline["floors"]["unfloored_b"] = {"k": 1.0}
+        assert missing_baseline_entries(payloads, baseline) == []
+
+    def test_committed_baseline_covers_incremental_reeval(self):
+        # The acceptance floor of the incremental re-evaluation work must
+        # stay committed: 5x per greedy candidate.
+        from pathlib import Path
+
+        path = Path(__file__).parent.parent / "benchmarks" / \
+            "bench_baseline.json"
+        baseline = load_baseline(path)
+        assert required_floor(baseline, "incremental_reeval",
+                              "per_candidate") >= 5.0
+
+
 class TestRegisteredBenches:
     @pytest.mark.parametrize("function, key", [
         (bench_sim_engine_ff, "bit_true_simulation"),
         (bench_sim_engine_iir, "single_stream"),
         (bench_welch_psd, "welch"),
+        (functools.partial(bench_incremental_reeval, branches=8,
+                           candidates=4, n_psd=128), "per_candidate"),
     ])
     def test_reduced_workload_produces_valid_payload(self, function, key):
         payload = function(samples=2000)

@@ -128,6 +128,54 @@ class TestBatchedGreedyEquivalence:
             assert batched.history == sequential.history, entry.name
 
 
+class TestIncrementalMode:
+    """The default incremental mode: bit-identical, with work accounting."""
+
+    @pytest.mark.parametrize("method", ["psd", "flat", "agnostic"])
+    def test_incremental_identical_to_sequential(self, method):
+        budget = 1e-6
+        incremental = WordLengthOptimizer(
+            _two_stage_graph(), method=method, n_psd=128).optimize(budget)
+        sequential = WordLengthOptimizer(
+            _two_stage_graph(), method=method, n_psd=128,
+            mode="sequential").optimize(budget)
+        assert incremental.assignment == sequential.assignment
+        assert incremental.noise_power == sequential.noise_power
+        assert incremental.evaluations == sequential.evaluations
+        assert incremental.history == sequential.history
+
+    def test_mode_resolution_and_alias(self):
+        assert WordLengthOptimizer(_two_stage_graph()).mode == "incremental"
+        assert WordLengthOptimizer(_two_stage_graph(),
+                                   batch=True).mode == "batch"
+        assert WordLengthOptimizer(_two_stage_graph(),
+                                   batch=False).mode == "sequential"
+        assert WordLengthOptimizer(_two_stage_graph(), batch=True,
+                                   mode="batch").mode == "batch"
+
+    def test_unknown_and_conflicting_modes_rejected(self):
+        with pytest.raises(ValueError, match="unknown mode"):
+            WordLengthOptimizer(_two_stage_graph(), mode="psychic")
+        with pytest.raises(ValueError, match="conflicting"):
+            WordLengthOptimizer(_two_stage_graph(), batch=True,
+                                mode="sequential")
+
+    def test_work_split_counters(self):
+        budget = 1e-6
+        incremental = WordLengthOptimizer(_two_stage_graph(),
+                                          n_psd=128).optimize(budget)
+        sequential = WordLengthOptimizer(_two_stage_graph(), n_psd=128,
+                                         mode="sequential").optimize(budget)
+        # Incremental: one cold memo build, then dirty-cone deltas.
+        assert incremental.cone_recomputes > 0
+        assert (incremental.full_walks + incremental.cone_recomputes
+                == incremental.evaluations)
+        assert incremental.full_walks < incremental.evaluations
+        # Sequential: every evaluation is a cold full walk by definition.
+        assert sequential.full_walks == sequential.evaluations
+        assert sequential.cone_recomputes == 0
+
+
 class TestEvaluationAccounting:
     """`evaluations` must count distinct candidate evaluations exactly."""
 
