@@ -60,6 +60,7 @@ from typing import Callable
 import numpy as np
 
 from repro.fixedpoint.noise_model import NoiseStats
+from repro.obs import MetricsRegistry, metric_inc, span
 from repro.psd.batch import PsdStack
 from repro.psd.spectrum import DiscretePsd
 from repro.psd.propagation import TrackedSpectrum
@@ -169,9 +170,10 @@ def _tracked_step(plan: CompiledPlan, n_psd: int, step,
 def _full_walk(plan: CompiledPlan, compute_step) -> list:
     """Cold walk: evaluate every step, no cache involved."""
     plan.refresh()
-    values: list = [None] * len(plan.steps)
-    for step in plan.steps:
-        values[step.index] = compute_step(step, values)
+    with span("analysis.walk", kind="uncached", steps=len(plan.steps)):
+        values: list = [None] * len(plan.steps)
+        for step in plan.steps:
+            values[step.index] = compute_step(step, values)
     return values
 
 
@@ -198,6 +200,11 @@ class NoiseMemo:
     dirty cone, and ``steps_recomputed`` / ``steps_reused`` count the
     per-step work either way — the word-length optimizer surfaces their
     deltas in :class:`~repro.systems.wordlength.WordLengthResult`.
+
+    The counters are backed by a private (always-on) metrics registry;
+    the attribute names remain the public surface as read-only views,
+    and every increment is mirrored into the process-wide observability
+    session (`repro.obs`) under ``memo.*`` when one is enabled.
     """
 
     #: Bound on the flat method's path-function entries (one entry per
@@ -212,10 +219,27 @@ class NoiseMemo:
         # data-path word lengths, so the optimizer's requantize loop hits
         # one entry over and over.
         self.path_functions: "OrderedDict[tuple, dict]" = OrderedDict()
-        self.full_walks = 0
-        self.cone_recomputes = 0
-        self.steps_recomputed = 0
-        self.steps_reused = 0
+        self.metrics = MetricsRegistry()
+        self._full_walks = self.metrics.counter("memo.full_walks")
+        self._cone_recomputes = self.metrics.counter("memo.cone_recomputes")
+        self._steps_recomputed = self.metrics.counter("memo.steps_recomputed")
+        self._steps_reused = self.metrics.counter("memo.steps_reused")
+
+    @property
+    def full_walks(self) -> int:
+        return self._full_walks.value
+
+    @property
+    def cone_recomputes(self) -> int:
+        return self._cone_recomputes.value
+
+    @property
+    def steps_recomputed(self) -> int:
+        return self._steps_recomputed.value
+
+    @property
+    def steps_reused(self) -> int:
+        return self._steps_reused.value
 
     def counters(self) -> dict[str, int]:
         """Snapshot of the work counters (cheap, copy-safe)."""
@@ -236,23 +260,32 @@ class NoiseMemo:
         plan.refresh()
         channel = self._channels.get(key)
         if channel is None:
-            values: list = [None] * len(plan.steps)
-            for step in plan.steps:
-                values[step.index] = compute_step(step, values)
+            with span("analysis.walk", kind="cold", channel=key[0],
+                      steps=len(plan.steps)):
+                values: list = [None] * len(plan.steps)
+                for step in plan.steps:
+                    values[step.index] = compute_step(step, values)
             self._channels[key] = _Channel(values, plan.epoch)
-            self.full_walks += 1
-            self.steps_recomputed += len(plan.steps)
+            self._full_walks.inc()
+            self._steps_recomputed.inc(len(plan.steps))
+            metric_inc("memo.full_walks")
+            metric_inc("memo.steps_recomputed", len(plan.steps))
             return values
         dirty = plan.steps_dirty_since(channel.epoch)
         if len(dirty):
             cone = plan.downstream_cone(dirty)
-            values = list(channel.values)
-            for index in cone:
-                values[index] = compute_step(plan.steps[index], values)
+            with span("analysis.cone_pull", channel=key[0], cone=len(cone),
+                      steps=len(plan.steps)):
+                values = list(channel.values)
+                for index in cone:
+                    values[index] = compute_step(plan.steps[index], values)
             channel.values = values
-            self.cone_recomputes += 1
-            self.steps_recomputed += len(cone)
-            self.steps_reused += len(plan.steps) - len(cone)
+            self._cone_recomputes.inc()
+            self._steps_recomputed.inc(len(cone))
+            self._steps_reused.inc(len(plan.steps) - len(cone))
+            metric_inc("memo.cone_recomputes")
+            metric_inc("memo.steps_recomputed", len(cone))
+            metric_inc("memo.steps_reused", len(plan.steps) - len(cone))
         channel.epoch = plan.epoch
         return channel.values
 
@@ -474,13 +507,16 @@ def walk_psd_batch(plan: CompiledPlan, n_psd: int,
         cone = _deviant_cone(plan, stack)
     else:
         base, cone = None, set(range(len(plan.steps)))
-    slots: list = [None] * len(plan.steps)
-    for step in plan.steps:
-        if step.index in cone:
-            slots[step.index] = _psd_batch_step(plan, n_psd, stack, step,
-                                                slots)
-        else:
-            slots[step.index] = _broadcast_psd(base[step.index], stack.size)
+    with span("analysis.walk_batch", representation="psd",
+              configs=stack.size, cone=len(cone)):
+        slots: list = [None] * len(plan.steps)
+        for step in plan.steps:
+            if step.index in cone:
+                slots[step.index] = _psd_batch_step(plan, n_psd, stack, step,
+                                                    slots)
+            else:
+                slots[step.index] = _broadcast_psd(base[step.index],
+                                                   stack.size)
     return {step.name: slots[step.index] for step in plan.steps}
 
 
@@ -499,10 +535,14 @@ def walk_stats_batch(plan: CompiledPlan,
         cone = _deviant_cone(plan, stack)
     else:
         base, cone = None, set(range(len(plan.steps)))
-    slots: list = [None] * len(plan.steps)
-    for step in plan.steps:
-        if step.index in cone:
-            slots[step.index] = _stats_batch_step(plan, stack, step, slots)
-        else:
-            slots[step.index] = _broadcast_stats(base[step.index], stack.size)
+    with span("analysis.walk_batch", representation="stats",
+              configs=stack.size, cone=len(cone)):
+        slots: list = [None] * len(plan.steps)
+        for step in plan.steps:
+            if step.index in cone:
+                slots[step.index] = _stats_batch_step(plan, stack, step,
+                                                      slots)
+            else:
+                slots[step.index] = _broadcast_stats(base[step.index],
+                                                     stack.size)
     return {step.name: slots[step.index] for step in plan.steps}

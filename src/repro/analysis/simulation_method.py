@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.analysis._engine import memoization_enabled
 from repro.analysis.metrics import noise_power
+from repro.obs import metric_inc, span
 from repro.psd.estimation import estimate_psd, estimate_psd_batch
 from repro.psd.spectrum import DiscretePsd
 from repro.sfg.executor import SfgExecutor
@@ -164,16 +165,21 @@ class SimulationEvaluator:
                 key = (plan.coefficient_fingerprint(),
                        _stimulus_digest(stimulus), output)
                 reference = memo.get(key)
-            if reference is not None:
-                # Reference hit: only the bit-true pass reruns.
-                memo.move_to_end(key)
-                fixed = plan.run(stimulus, mode="fixed").output(output)
-            else:
-                pair = self._executor.run_pair(stimulus)
-                reference = pair[0].output(output)
-                fixed = pair[1].output(output)
-                if memo is not None:
-                    _memo_store(memo, key, reference)
+            with span("sim.error_signal", output=output or "") as sim_span:
+                if reference is not None:
+                    # Reference hit: only the bit-true pass reruns.
+                    memo.move_to_end(key)
+                    metric_inc("sim.reference_memo.hits")
+                    sim_span.set(reference_cached=True)
+                    fixed = plan.run(stimulus, mode="fixed").output(output)
+                else:
+                    metric_inc("sim.reference_memo.misses")
+                    sim_span.set(reference_cached=False)
+                    pair = self._executor.run_pair(stimulus)
+                    reference = pair[0].output(output)
+                    fixed = pair[1].output(output)
+                    if memo is not None:
+                        _memo_store(memo, key, reference)
         else:
             reference = np.asarray(self._system.run_reference(stimulus), dtype=float)
             fixed = np.asarray(self._system.run_fixed_point(stimulus), dtype=float)
@@ -246,7 +252,8 @@ class SimulationEvaluator:
         digest = (_stimulus_digest(stimulus)
                   if memoization_enabled() else None)
         results: list[SimulationResult | None] = [None] * stack.size
-        with plan.preserve_quantization():
+        with span("sim.evaluate_batch", configs=stack.size,
+                  output=output or ""), plan.preserve_quantization():
             for members in stack.coefficient_groups():
                 plan.requantize(stack.resolved(members[0]))
                 memo = key = reference = None
@@ -256,7 +263,9 @@ class SimulationEvaluator:
                     reference = memo.get(key)
                 if reference is not None:
                     memo.move_to_end(key)
+                    metric_inc("sim.reference_memo.hits")
                 else:
+                    metric_inc("sim.reference_memo.misses")
                     reference = plan.run(stimulus,
                                          mode="double").output(output)
                     if memo is not None:

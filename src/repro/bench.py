@@ -340,10 +340,13 @@ def bench_incremental_reeval(samples: int | None = None, branches: int = 64,
 
 def run_benches(entries, results_dir, samples: int | None = None) -> list[dict]:
     """Run benches, write their BENCH_*.json files, return the payloads."""
+    from repro.obs import span
+
     payloads = []
     for entry in entries:
-        payload = (entry.function(samples=samples) if samples
-                   else entry.function())
+        with span("bench.run", bench=entry.name):
+            payload = (entry.function(samples=samples) if samples
+                       else entry.function())
         payload["mode"] = "cli"
         write_bench_json(results_dir, payload)
         payloads.append(payload)
@@ -414,6 +417,37 @@ def required_floor(baseline: dict, name: str, key: str,
             f"{path}: no baseline entry floors.{name}.{key} — commit the "
             "speedup floor before gating on it")
     return float(entry[key])
+
+
+def baseline_diff(payloads: list[dict], baseline: dict) -> list[dict]:
+    """Measured-vs-floor rows for every floored key of the measured benches.
+
+    One row per ``floors.<name>.<key>`` whose benchmark was measured:
+    the committed floor, the measured speedup, the margin ratio
+    (``measured / floor``) and a verdict.  Optional-backend floors (the
+    ``*_numba`` keys) with the backend absent are reported as skipped
+    rather than failed, matching :func:`check_against_baseline`.
+    """
+    measured = {payload["name"]: payload.get("speedup", {})
+                for payload in payloads}
+    rows = []
+    for name, floors in sorted(baseline.get("floors", {}).items()):
+        if name not in measured:
+            continue
+        for key, floor in sorted(floors.items()):
+            floor = float(floor)
+            value = measured[name].get(key)
+            row = {"name": name, "key": key, "floor": floor,
+                   "measured": value,
+                   "margin": value / floor if value is not None else None,
+                   "ok": value is not None and value >= floor}
+            if value is None and key.endswith("_numba"):
+                from repro.simkernel import numba_available
+                if not numba_available():
+                    row["ok"] = True
+                    row["skipped"] = "numba backend unavailable"
+            rows.append(row)
+    return rows
 
 
 def missing_baseline_entries(payloads: list[dict], baseline: dict) -> list[str]:

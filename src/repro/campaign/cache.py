@@ -9,6 +9,16 @@ and logged (with the offending path) so corruption discovered by fuzz or
 campaign runs is diagnosable instead of silently recomputed.  This is
 what makes campaigns resumable — a re-run simply finds most of its jobs
 already on disk.
+
+Accounting lives on a per-instance :class:`~repro.obs.MetricsRegistry`
+(``campaign.cache.lookups{result=hit|miss|corrupt}`` and
+``campaign.cache.puts``); the historical ``cache.stats`` surface is a
+thin :class:`CacheStats` view over it, and the same counters are
+mirrored into the process-wide observability session when one is
+enabled.  Note these are *store-level* lookup counts: the runner's
+``campaign.cache.hits`` / ``misses`` count *jobs* (overlap-deduplicated
+grid points never reach the store), so the two families are deliberately
+named apart.
 """
 
 from __future__ import annotations
@@ -20,6 +30,8 @@ import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.obs import MetricsRegistry, metric_inc
+
 CACHE_SCHEMA_VERSION = 1
 
 logger = logging.getLogger(__name__)
@@ -27,7 +39,7 @@ logger = logging.getLogger(__name__)
 
 @dataclass
 class CacheStats:
-    """Hit / miss accounting of one cache instance."""
+    """Hit / miss accounting of one cache instance (a registry view)."""
 
     hits: int = 0
     misses: int = 0
@@ -58,7 +70,22 @@ class ResultCache:
 
     def __init__(self, root: str | Path | None):
         self.root = Path(root) if root is not None else None
-        self.stats = CacheStats()
+        self.metrics = MetricsRegistry()
+        self._hits = self.metrics.counter("campaign.cache.lookups",
+                                          result="hit")
+        self._misses = self.metrics.counter("campaign.cache.lookups",
+                                            result="miss")
+        self._corrupt = self.metrics.counter("campaign.cache.lookups",
+                                             result="corrupt")
+        self._puts = self.metrics.counter("campaign.cache.puts")
+
+    @property
+    def stats(self) -> CacheStats:
+        """The historical accounting surface, read from the registry."""
+        return CacheStats(hits=self._hits.value,
+                          misses=self._misses.value,
+                          corrupt=self._corrupt.value,
+                          puts=self._puts.value)
 
     @property
     def enabled(self) -> bool:
@@ -72,6 +99,13 @@ class ResultCache:
         return self.root / key[:2] / f"{key}.json"
 
     # ------------------------------------------------------------------
+    # Accounting plumbing
+    # ------------------------------------------------------------------
+    def _count_miss(self) -> None:
+        self._misses.inc()
+        metric_inc("campaign.cache.lookups", result="miss")
+
+    # ------------------------------------------------------------------
     # Lookup / store
     # ------------------------------------------------------------------
     def get(self, key: str) -> dict | None:
@@ -83,7 +117,7 @@ class ResultCache:
         ``logging`` warning naming the offending path.
         """
         if self.root is None:
-            self.stats.misses += 1
+            self._count_miss()
             return None
         path = self.path_for(key)
         try:
@@ -91,11 +125,12 @@ class ResultCache:
             if not isinstance(record, dict) or record.get("key") != key:
                 raise ValueError("record/key mismatch")
         except FileNotFoundError:
-            self.stats.misses += 1
+            self._count_miss()
             return None
         except (OSError, ValueError) as error:
-            self.stats.misses += 1
-            self.stats.corrupt += 1
+            self._count_miss()
+            self._corrupt.inc()
+            metric_inc("campaign.cache.lookups", result="corrupt")
             logger.warning(
                 "discarding corrupt campaign cache record %s (%s); the "
                 "slot heals on the next write", path, error)
@@ -104,7 +139,8 @@ class ResultCache:
             except OSError:
                 pass
             return None
-        self.stats.hits += 1
+        self._hits.inc()
+        metric_inc("campaign.cache.lookups", result="hit")
         return record
 
     def put(self, key: str, record: dict) -> None:
@@ -133,4 +169,5 @@ class ResultCache:
             except OSError:
                 pass
             raise
-        self.stats.puts += 1
+        self._puts.inc()
+        metric_inc("campaign.cache.puts")

@@ -21,10 +21,19 @@ Execution strategy:
 * every completed record is written to the cache *and* appended to a
   JSONL stream immediately, so a killed campaign loses at most the jobs
   in flight — re-running the same spec resumes from the cache.
+
+Accounting runs on a per-campaign :class:`~repro.obs.MetricsRegistry`
+(``campaign.cache.hits`` / ``campaign.cache.misses`` /
+``campaign.jobs.skipped``); :class:`CampaignResult` is a view over those
+counters, a one-line summary is logged at the finish line, and — when a
+process-wide observability session is enabled — the registry is
+published into it and every job (cached or computed, driver or pool
+worker) leaves a ``campaign.job`` trace span keyed by its content hash.
 """
 
 from __future__ import annotations
 
+import logging
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
@@ -32,6 +41,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro.analysis.agnostic_method import evaluate_agnostic_batch
 from repro.analysis.flat_method import evaluate_flat_batch
 from repro.analysis.psd_method import evaluate_psd_batch, evaluate_psd_tracked
@@ -43,8 +53,11 @@ from repro.campaign.jobs import (
     StimulusSpec,
     expand_campaign,
 )
+from repro.obs import record_span, span
 from repro.sfg.plan import compile_plan
 from repro.sfg.serialization import graph_from_dict
+
+logger = logging.getLogger("repro.campaign.runner")
 
 
 @dataclass
@@ -120,6 +133,12 @@ def execute_scenario_payload(payload: dict) -> list[dict]:
     stimulus realization and the batched reference-run sharing of
     :meth:`SimulationEvaluator.evaluate_batch`.
     """
+    with span("campaign.payload", scenario=payload["scenario"],
+              jobs=len(payload["jobs"])):
+        return _execute_payload(payload)
+
+
+def _execute_payload(payload: dict) -> list[dict]:
     graph = graph_from_dict(payload["graph"])
     plan = compile_plan(graph)
     stimulus_spec = StimulusSpec.from_dict(payload["stimulus"])
@@ -131,6 +150,7 @@ def execute_scenario_payload(payload: dict) -> list[dict]:
 
     for method, jobs in by_method.items():
         assignments = [job["assignment"] for job in jobs]
+        start_ts = time.time()
         start = time.perf_counter()
         if method == "psd":
             stack = evaluate_psd_batch(plan, jobs[0]["n_psd"], assignments)
@@ -166,8 +186,19 @@ def execute_scenario_payload(payload: dict) -> list[dict]:
         else:
             raise ValueError(f"unknown job method {method!r}")
         elapsed = time.perf_counter() - start
+        record_span("campaign.method", start_ts, elapsed,
+                    scenario=payload["scenario"], method=method,
+                    jobs=len(jobs))
 
+        share = elapsed / len(jobs)
         for index, job in enumerate(jobs):
+            # One trace span per job: the batched computation's wall time
+            # is attributed evenly across the grid points it served, and
+            # the content key lets driver- and worker-side spans of the
+            # same job line up in the merged trace.
+            record_span("campaign.job", start_ts + index * share, share,
+                        depth_offset=1, key=job["key"], method=method,
+                        scenario=payload["scenario"], cached=False)
             record = _base_record(payload, job)
             record.update(
                 power=float(np.asarray(powers)[index]),
@@ -181,6 +212,25 @@ def execute_scenario_payload(payload: dict) -> list[dict]:
                 record["num_samples"] = stimulus_spec.num_samples
             records.append(record)
     return records
+
+
+def execute_scenario_payload_observed(payload: dict,
+                                      trace: bool = True) -> dict:
+    """Pool entry point when the driver has observability enabled.
+
+    A pool worker is a fresh process with no observability session, so
+    one is opened around the payload and its measurements are shipped
+    home with the records: ``{"records", "spans", "metrics"}``.  Span
+    timestamps are epoch-based (``time.time()``), so worker spans merge
+    onto the driver's clock without translation.
+    """
+    with obs.observe(trace=trace) as session:
+        records = execute_scenario_payload(payload)
+    return {
+        "records": records,
+        "spans": session.trace.snapshot() if session.trace else [],
+        "metrics": session.metrics.snapshot(),
+    }
 
 
 # ----------------------------------------------------------------------
@@ -242,52 +292,89 @@ def run_campaign(spec: CampaignSpec,
     if cache is None:
         cache = ResultCache(cache_dir)
     started = time.perf_counter()
+    # Per-campaign accounting registry: always live (exact counts whether
+    # or not observability is enabled), published into the process-wide
+    # session — and summarised in the finish-line log — at the end.
+    registry = obs.MetricsRegistry()
+    hit_counter = registry.counter("campaign.cache.hits")
+    miss_counter = registry.counter("campaign.cache.misses")
+    skip_counter = registry.counter("campaign.jobs.skipped")
+    trace_on = obs.tracing()
     prepared, _jobs, skipped = expand_campaign(spec)
+    skip_counter.inc(skipped)
     writer = _JsonlWriter(output_path)
     try:
-        records_by_key: dict[str, dict] = {}
-        pending: list[tuple[PreparedScenario, list]] = []
-        scheduled: set[str] = set()
-        hits = 0
-        for scenario in prepared:
-            misses = []
-            for job in scenario.jobs:
-                if job.key in scheduled:
-                    # Identical grid point from an overlapping scenario
-                    # entry: served from the first computation.
-                    hits += 1
-                    continue
-                cached = cache.get(job.key)
-                if cached is not None:
-                    cached = {**cached, "cached": True}
-                    records_by_key[job.key] = cached
-                    writer.write(cached)
-                    hits += 1
-                else:
-                    scheduled.add(job.key)
-                    misses.append(job)
-            if misses:
-                pending.append((scenario, misses))
+        with span("campaign.run", scenarios=len(prepared), workers=workers):
+            records_by_key: dict[str, dict] = {}
+            pending: list[tuple[PreparedScenario, list]] = []
+            scheduled: set[str] = set()
+            for scenario in prepared:
+                misses = []
+                for job in scenario.jobs:
+                    if job.key in scheduled:
+                        # Identical grid point from an overlapping scenario
+                        # entry: served from the first computation.
+                        hit_counter.inc()
+                        if trace_on:
+                            record_span("campaign.job", time.time(), 0.0,
+                                        key=job.key, scenario=job.scenario,
+                                        method=job.method, cached=True,
+                                        dedup=True)
+                        continue
+                    lookup_ts = time.time()
+                    lookup_t0 = time.perf_counter()
+                    cached = cache.get(job.key)
+                    if cached is not None:
+                        cached = {**cached, "cached": True}
+                        records_by_key[job.key] = cached
+                        writer.write(cached)
+                        hit_counter.inc()
+                        if trace_on:
+                            record_span(
+                                "campaign.job", lookup_ts,
+                                time.perf_counter() - lookup_t0,
+                                key=job.key, scenario=job.scenario,
+                                method=job.method, cached=True)
+                    else:
+                        scheduled.add(job.key)
+                        misses.append(job)
+                if misses:
+                    pending.append((scenario, misses))
 
-        def absorb(records: list[dict]) -> None:
-            for record in records:
-                record = {**record, "cached": False}
-                cache.put(record["key"], record)
-                records_by_key[record["key"]] = record
-                writer.write(record)
+            def absorb(records: list[dict]) -> None:
+                for record in records:
+                    record = {**record, "cached": False}
+                    cache.put(record["key"], record)
+                    records_by_key[record["key"]] = record
+                    writer.write(record)
+                    miss_counter.inc()
 
-        payloads = [_scenario_payload(scenario, jobs)
-                    for scenario, jobs in pending]
-        if workers > 1 and len(payloads) > 1:
-            with ProcessPoolExecutor(
-                    max_workers=min(workers, len(payloads))) as pool:
-                futures = [pool.submit(execute_scenario_payload, payload)
-                           for payload in payloads]
-                for future in as_completed(futures):
-                    absorb(future.result())
-        else:
-            for payload in payloads:
-                absorb(execute_scenario_payload(payload))
+            payloads = [_scenario_payload(scenario, jobs)
+                        for scenario, jobs in pending]
+            if workers > 1 and len(payloads) > 1:
+                observed = obs.enabled()
+                with ProcessPoolExecutor(
+                        max_workers=min(workers, len(payloads))) as pool:
+                    if observed:
+                        # Workers open their own observability session and
+                        # ship spans + metrics home with the records.
+                        futures = [pool.submit(execute_scenario_payload_observed,
+                                               payload, trace_on)
+                                   for payload in payloads]
+                        for future in as_completed(futures):
+                            result = future.result()
+                            obs.ingest_spans(result["spans"])
+                            obs.publish_metrics(result["metrics"])
+                            absorb(result["records"])
+                    else:
+                        futures = [pool.submit(execute_scenario_payload,
+                                               payload)
+                                   for payload in payloads]
+                        for future in as_completed(futures):
+                            absorb(future.result())
+            else:
+                for payload in payloads:
+                    absorb(execute_scenario_payload(payload))
     finally:
         writer.close()
 
@@ -312,9 +399,18 @@ def run_campaign(spec: CampaignSpec,
                           "signature": job.signature,
                           "params": dict(job.params)}
             ordered.append(record)
-    return CampaignResult(
+    elapsed = time.perf_counter() - started
+    registry.gauge("campaign.elapsed_seconds").set(elapsed)
+    result = CampaignResult(
         records=ordered,
-        cache_hits=hits,
-        computed=len(ordered) - hits,
-        skipped_unsupported=skipped,
-        elapsed_seconds=time.perf_counter() - started)
+        cache_hits=hit_counter.value,
+        computed=miss_counter.value,
+        skipped_unsupported=skip_counter.value,
+        elapsed_seconds=elapsed)
+    obs.publish_metrics(registry.snapshot())
+    logger.info(
+        "campaign finished: %d jobs — %d cached (%.1f%% warm), %d computed, "
+        "%d skipped unsupported, %.3f s wall",
+        result.total_jobs, result.cache_hits, 100.0 * result.hit_rate,
+        result.computed, result.skipped_unsupported, elapsed)
+    return result

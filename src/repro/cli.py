@@ -12,6 +12,10 @@ Usage::
     python -m repro.cli fuzz --count 200 --seed 0 --artifacts fuzz-out
     python -m repro.cli fuzz --count 200 --backend codegen
     python -m repro.cli bench --tags smoke --check
+    python -m repro.cli bench --tags smoke --check --json
+    python -m repro.cli campaign --scenarios fft_butterfly \
+        --trace trace.json --metrics metrics.json
+    python -m repro.cli obs trace.json --metrics-file metrics.json
 
 The system description is the JSON schema of
 :mod:`repro.sfg.serialization`.  Stimuli for the simulation-based commands
@@ -42,7 +46,17 @@ timing the preserved legacy simulation loops against the optimized
 kernels of :mod:`repro.simkernel` on the same workload and asserting the
 outputs stay bitwise identical — writes one machine-readable
 ``BENCH_<name>.json`` per benchmark, and with ``--check`` exits nonzero
-when any measured speedup falls below the committed baseline floors.
+when any measured speedup falls below the committed baseline floors
+(``--json`` emits the payloads and the full measured-vs-floor diff as
+JSON instead of the table).
+
+Every workload-running subcommand also carries the global observability
+options (:mod:`repro.obs`): ``--trace FILE`` records structured spans at
+each architectural boundary and writes Chrome trace-event JSON,
+``--metrics FILE`` snapshots the metrics registry, and ``--log-level``
+configures the namespaced ``repro.*`` loggers.  Both are off by default
+and cost nothing when off.  The ``obs`` subcommand summarizes a saved
+trace (per-span timing table, coverage, campaign cache-hit ratio).
 
 Every command follows the library's graph → plan → run pipeline (see
 ARCHITECTURE.md): the loaded graph is compiled once into a
@@ -65,6 +79,33 @@ from repro.sfg.serialization import load_graph
 from repro.systems.pareto import budget_range, sweep_noise_budgets
 from repro.systems.wordlength import WordLengthOptimizer
 from repro.utils.tables import TextTable
+
+
+_LOG_LEVELS = ("debug", "info", "warning", "error", "critical")
+
+
+def _add_log_level_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--log-level", default=None, choices=_LOG_LEVELS,
+                        help="configure logging at this level (the "
+                             "namespaced repro.* loggers report cache "
+                             "healing, codegen degradation, campaign "
+                             "summaries, ...); unset leaves logging "
+                             "unconfigured")
+
+
+def _add_obs_options(parser: argparse.ArgumentParser) -> None:
+    """The global observability options, shared by every subcommand."""
+    group = parser.add_argument_group("observability")
+    group.add_argument("--trace", default=None, metavar="FILE",
+                       help="record structured trace spans for this "
+                            "command and write them to FILE as Chrome "
+                            "trace-event JSON (load in chrome://tracing "
+                            "or Perfetto, or summarize with 'repro obs')")
+    group.add_argument("--metrics", default=None, metavar="FILE",
+                       help="collect the metrics registry for this "
+                            "command and write its snapshot to FILE as "
+                            "JSON")
+    _add_log_level_option(group)
 
 
 def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
@@ -252,6 +293,31 @@ def build_parser() -> argparse.ArgumentParser:
                        help="force a simulation backend for the whole run "
                             "(errors out if the backend is not available "
                             "in this environment)")
+    bench.add_argument("--json", action="store_true", dest="json_output",
+                       help="emit the measured payloads — and, with "
+                            "--check, the full measured-vs-floor diff "
+                            "including warmup_s — as JSON on stdout "
+                            "instead of the table")
+
+    obs_cmd = commands.add_parser(
+        "obs",
+        help="summarize a saved observability trace (written by the "
+             "global --trace flag)")
+    obs_cmd.add_argument("trace_file",
+                         help="Chrome trace-event JSON written by --trace")
+    obs_cmd.add_argument("--top", type=int, default=0,
+                         help="limit the per-span table to the N largest "
+                              "by total time (0 shows all)")
+    obs_cmd.add_argument("--metrics-file", default=None,
+                         help="also summarize this metrics snapshot "
+                              "(written by the global --metrics flag)")
+    _add_log_level_option(obs_cmd)
+
+    # The global observability options ride on every workload-running
+    # subcommand; 'obs' reads saved traces instead of recording new ones.
+    for name, subparser in commands.choices.items():
+        if name != "obs":
+            _add_obs_options(subparser)
     return parser
 
 
@@ -481,8 +547,29 @@ def _command_fuzz(args) -> int:
     return 0 if report.passed else 1
 
 
+def _command_obs(args) -> int:
+    from repro.obs.export import (
+        load_metrics,
+        load_trace,
+        metrics_table,
+        summarize_trace,
+    )
+
+    document = load_trace(args.trace_file)
+    print(summarize_trace(document, top=args.top))
+    if args.metrics_file:
+        snapshot = load_metrics(args.metrics_file)
+        print()
+        print(metrics_table(snapshot["metrics"]))
+    return 0
+
+
 def _command_bench(args) -> int:
+    import json
+
     from repro.bench import (
+        BENCH_SCHEMA,
+        baseline_diff,
         bench_entries,
         check_against_baseline,
         load_baseline,
@@ -513,21 +600,45 @@ def _command_bench(args) -> int:
         return 1
     with _forced_backend(args):
         payloads = run_benches(entries, args.results, samples=args.samples)
-    table = TextTable(["benchmark", "speedups", "s"],
-                      title="simulation-engine benchmarks (reference "
-                            "backend vs optimized kernels)")
-    for payload in payloads:
-        speedups = ", ".join(f"{key} {value:.1f}x" for key, value
-                             in sorted(payload["speedup"].items()))
-        table.add_row(payload["name"], speedups,
-                      round(sum(payload["seconds"].values()), 3))
-    print(table.render())
-    print(f"wrote {len(payloads)} BENCH_*.json file(s) under {args.results}")
+    if not args.json_output:
+        table = TextTable(["benchmark", "speedups", "s"],
+                          title="simulation-engine benchmarks (reference "
+                                "backend vs optimized kernels)")
+        for payload in payloads:
+            speedups = ", ".join(f"{key} {value:.1f}x" for key, value
+                                 in sorted(payload["speedup"].items()))
+            table.add_row(payload["name"], speedups,
+                          round(sum(payload["seconds"].values()), 3))
+        print(table.render())
+        print(f"wrote {len(payloads)} BENCH_*.json file(s) under "
+              f"{args.results}")
     if not args.check:
+        if args.json_output:
+            print(json.dumps({"schema": BENCH_SCHEMA, "checked": False,
+                              "results_dir": args.results,
+                              "payloads": payloads},
+                             indent=2, sort_keys=True))
         return 0
     baseline_path = args.baseline or DEFAULT_BASELINE
     baseline = load_baseline(baseline_path)
-    for name in missing_baseline_entries(payloads, baseline):
+    missing = missing_baseline_entries(payloads, baseline)
+    regressions = check_against_baseline(payloads, baseline)
+    ok = not missing and not regressions
+    if args.json_output:
+        # The machine-readable check report: the raw payloads (their
+        # warmup_s included) plus one diff row per floored key, so CI can
+        # graph margins instead of re-parsing the human table.
+        print(json.dumps({"schema": BENCH_SCHEMA, "checked": True,
+                          "baseline": str(baseline_path),
+                          "results_dir": args.results,
+                          "payloads": payloads,
+                          "diff": baseline_diff(payloads, baseline),
+                          "missing_baseline": missing,
+                          "regressions": regressions,
+                          "ok": ok},
+                         indent=2, sort_keys=True))
+        return 0 if ok else 1
+    for name in missing:
         # A measured bench without a committed floor must fail with a
         # line naming the file and key to add, not a KeyError later.
         print(f"error: {baseline_path}: no baseline entry "
@@ -535,7 +646,6 @@ def _command_bench(args) -> int:
               "commit its speedup floor(s) before gating with --check",
               file=sys.stderr)
         return 1
-    regressions = check_against_baseline(payloads, baseline)
     if regressions:
         for line in regressions:
             print(f"REGRESSION {line}", file=sys.stderr)
@@ -553,14 +663,53 @@ _COMMANDS = {
     "campaign": _command_campaign,
     "fuzz": _command_fuzz,
     "bench": _command_bench,
+    "obs": _command_obs,
 }
+
+
+def _configure_logging(level_name: str | None) -> None:
+    """Wire the root logger when (and only when) --log-level was given.
+
+    The default output of every command is byte-stable; leaving logging
+    unconfigured without the flag keeps it that way (warnings still reach
+    stderr through logging's last-resort handler).
+    """
+    if level_name is None:
+        return
+    import logging
+
+    logging.basicConfig(level=getattr(logging, level_name.upper()),
+                        format="%(levelname)s %(name)s: %(message)s",
+                        stream=sys.stderr)
 
 
 def main(argv=None) -> int:
     """Entry point (returns a process exit code)."""
     args = build_parser().parse_args(argv)
+    _configure_logging(getattr(args, "log_level", None))
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics", None)
     try:
-        return _COMMANDS[args.command](args)
+        if trace_path is None and metrics_path is None:
+            return _COMMANDS[args.command](args)
+        # --trace / --metrics turn the no-op observability layer on for
+        # exactly one command: the whole dispatch runs under a root
+        # cli.<command> span (so a trace covers the full wall time) and
+        # the session is exported after the command returns, even on a
+        # nonzero exit status.
+        from repro import obs
+        from repro.obs.export import write_metrics, write_trace
+
+        with obs.observe(trace=trace_path is not None) as session:
+            with obs.span(f"cli.{args.command}"):
+                status = _COMMANDS[args.command](args)
+        if trace_path is not None:
+            write_trace(trace_path, session)
+            print(f"wrote {trace_path}")
+        if metrics_path is not None:
+            write_metrics(metrics_path, session)
+            print(f"wrote {metrics_path}")
+        return status
     except (OSError, ValueError, KeyError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

@@ -1,0 +1,56 @@
+"""repro.obs — unified observability: metrics registry, trace spans, exporters.
+
+Disabled by default; ``observe()`` (or ``enable()``/``disable()``)
+installs a process-wide session that the gated helpers below write to.
+See ARCHITECTURE.md § Observability for the data flow and the
+instrumentation-boundary rules.
+"""
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    format_metric_name,
+)
+from repro.obs.state import (
+    ObsSession,
+    current,
+    disable,
+    enable,
+    enabled,
+    ingest_spans,
+    metric_inc,
+    metric_observe,
+    metric_set,
+    observe,
+    publish_metrics,
+    record_span,
+    span,
+    tracing,
+)
+from repro.obs.trace import Span, TraceCollector
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ObsSession",
+    "Span",
+    "TraceCollector",
+    "current",
+    "disable",
+    "enable",
+    "enabled",
+    "format_metric_name",
+    "ingest_spans",
+    "metric_inc",
+    "metric_observe",
+    "metric_set",
+    "observe",
+    "publish_metrics",
+    "record_span",
+    "span",
+    "tracing",
+]

@@ -1,0 +1,163 @@
+"""Structured trace spans: wall-time records with nesting and attributes.
+
+A :class:`Span` is one timed region — name, start (epoch seconds), and
+duration — plus its nesting depth and free-form attributes.  Start
+timestamps deliberately come from ``time.time()`` so spans recorded in
+ProcessPool workers land on the same clock as the driver's and merge
+into one coherent Chrome trace; durations come from
+``time.perf_counter()`` for resolution.
+
+This module is standalone (no imports from the session state) — the
+gated ``span(...)`` entry point that most code calls lives in
+`repro.obs.state`, where the enabled/disabled decision is made.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Span:
+    """One completed timed region."""
+
+    name: str
+    ts: float            # epoch seconds at entry (time.time())
+    dur: float           # seconds (perf_counter delta)
+    depth: int = 0       # nesting depth within its thread, 0 = top level
+    pid: int = 0
+    tid: int = 0
+    attrs: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "ts": self.ts,
+            "dur": self.dur,
+            "depth": self.depth,
+            "pid": self.pid,
+            "tid": self.tid,
+            "attrs": self.attrs,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Span":
+        return cls(
+            name=payload["name"],
+            ts=payload["ts"],
+            dur=payload["dur"],
+            depth=payload.get("depth", 0),
+            pid=payload.get("pid", 0),
+            tid=payload.get("tid", 0),
+            attrs=dict(payload.get("attrs", {})),
+        )
+
+
+class TraceCollector:
+    """Accumulates completed spans and tracks per-thread nesting depth."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self.spans: list[Span] = []
+
+    def current_depth(self) -> int:
+        return getattr(self._local, "depth", 0)
+
+    def push(self) -> int:
+        depth = getattr(self._local, "depth", 0)
+        self._local.depth = depth + 1
+        return depth
+
+    def pop(self) -> None:
+        self._local.depth = max(0, getattr(self._local, "depth", 1) - 1)
+
+    def add(self, span: Span) -> None:
+        with self._lock:
+            self.spans.append(span)
+
+    def record(self, name: str, ts: float, dur: float, depth: int | None = None,
+               **attrs: object) -> None:
+        """Append an externally-timed span (e.g. a per-job share of a
+        batched worker computation) without entering a context manager."""
+
+        self.add(Span(
+            name=name,
+            ts=ts,
+            dur=dur,
+            depth=self.current_depth() if depth is None else depth,
+            pid=os.getpid(),
+            tid=threading.get_ident(),
+            attrs=dict(attrs),
+        ))
+
+    def ingest(self, payloads: list[dict]) -> None:
+        """Merge serialized spans from another process."""
+
+        spans = [Span.from_dict(payload) for payload in payloads]
+        with self._lock:
+            self.spans.extend(spans)
+
+    def snapshot(self) -> list[dict]:
+        with self._lock:
+            return [span.to_dict() for span in self.spans]
+
+
+class LiveSpan:
+    """Context manager that records one span into a collector.
+
+    Only constructed when observability is enabled — the disabled path
+    returns the shared no-op below and never allocates.
+    """
+
+    __slots__ = ("_collector", "_name", "_attrs", "_ts", "_t0")
+
+    def __init__(self, collector: TraceCollector, name: str, attrs: dict):
+        self._collector = collector
+        self._name = name
+        self._attrs = attrs
+
+    def __enter__(self) -> "LiveSpan":
+        self._collector.push()
+        self._ts = time.time()
+        self._t0 = time.perf_counter()
+        return self
+
+    def set(self, **attrs: object) -> None:
+        """Attach attributes discovered while the span is open."""
+
+        self._attrs.update(attrs)
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        dur = time.perf_counter() - self._t0
+        self._collector.pop()
+        self._collector.add(Span(
+            name=self._name,
+            ts=self._ts,
+            dur=dur,
+            depth=self._collector.current_depth(),
+            pid=os.getpid(),
+            tid=threading.get_ident(),
+            attrs=self._attrs,
+        ))
+
+
+class NoopSpan:
+    """Shared do-nothing span returned whenever observability is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NoopSpan":
+        return self
+
+    def set(self, **attrs: object) -> None:
+        pass
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+NOOP_SPAN = NoopSpan()

@@ -25,6 +25,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.lti.windows import get_window
+from repro.obs import span
 from repro.psd.spectrum import DiscretePsd
 
 
@@ -135,7 +136,8 @@ def welch(x: np.ndarray, n_bins: int, window: str = "hann",
         the sample mean.
     """
     x = np.asarray(x, dtype=float).ravel()
-    ac, means = _welch_stack(x[None, :], n_bins, window, overlap)
+    with span("psd.welch", samples=x.shape[0], n_bins=n_bins):
+        ac, means = _welch_stack(x[None, :], n_bins, window, overlap)
     return DiscretePsd(ac[0], float(means[0]))
 
 
@@ -149,7 +151,9 @@ def welch_batched(x: np.ndarray, n_bins: int, window: str = "hann",
     """
     x = np.asarray(x, dtype=float)
     records = x.reshape(-1, x.shape[-1]) if x.ndim > 1 else x[None, :]
-    ac, means = _welch_stack(records, n_bins, window, overlap)
+    with span("psd.welch", samples=records.shape[-1], n_bins=n_bins,
+              records=records.shape[0]):
+        ac, means = _welch_stack(records, n_bins, window, overlap)
     return [DiscretePsd(ac[row], float(means[row]))
             for row in range(records.shape[0])]
 

@@ -51,6 +51,7 @@ import numpy as np
 
 from repro.fixedpoint.noise_model import NoiseStats
 from repro.lti.transfer_function import TransferFunction
+from repro.obs import metric_inc, span
 from repro.psd.spectrum import DiscretePsd
 from repro.psd.propagation import TrackedSpectrum
 from repro.sfg.graph import SignalFlowGraph
@@ -286,10 +287,11 @@ class CompiledPlan:
         schedule and the frequency-response cache are reused across search
         iterations.
         """
-        for name, bits in assignment.items():
-            node = self.graph.node(name)
-            node.quantization = node.quantization.with_fractional_bits(bits)
-        self.refresh()
+        with span("plan.requantize", nodes=len(assignment)):
+            for name, bits in assignment.items():
+                node = self.graph.node(name)
+                node.quantization = node.quantization.with_fractional_bits(bits)
+            self.refresh()
 
     @contextmanager
     def preserve_quantization(self):
@@ -597,13 +599,16 @@ class CompiledPlan:
             from repro.simkernel.codegen import (UnsupportedPlanError,
                                                  lower_plan)
             try:
-                self._tape = lower_plan(self)
+                with span("tape.lower", graph=self.graph.name,
+                          steps=len(self.steps)):
+                    self._tape = lower_plan(self)
             except UnsupportedPlanError as error:
                 self._tape_error = str(error)
                 return None
             self._tape_bound = True
         elif not self._tape_bound:
-            self._tape.bind(self)
+            with span("tape.bind", graph=self.graph.name):
+                self._tape.bind(self)
             self._tape_bound = True
         return self._tape
 
@@ -625,20 +630,23 @@ class CompiledPlan:
         fixed = mode == "fixed"
         stimulus = dict(zip(self.input_names, self._stimulus_slots(inputs)))
         tape = self._codegen_tape() if fixed else None
-        if tape is not None:
-            signals = tape.execute(stimulus)
-        else:
-            signals = [None] * len(self.steps)
-            for step in self.steps:
-                if isinstance(step.node, InputNode):
-                    value = stimulus[step.name]
-                    if fixed and step.quantizer is not None:
-                        value = step.quantizer.quantize(value)
-                    signals[step.index] = value
-                    continue
-                node_inputs = [signals[i] for i in step.predecessors]
-                signals[step.index] = self._simulate(step.node, node_inputs,
-                                                     fixed)
+        engine = "tape" if tape is not None else "walk"
+        metric_inc("plan.runs", mode=mode, engine=engine)
+        with span("plan.run", mode=mode, engine=engine):
+            if tape is not None:
+                signals = tape.execute(stimulus)
+            else:
+                signals = [None] * len(self.steps)
+                for step in self.steps:
+                    if isinstance(step.node, InputNode):
+                        value = stimulus[step.name]
+                        if fixed and step.quantizer is not None:
+                            value = step.quantizer.quantize(value)
+                        signals[step.index] = value
+                        continue
+                    node_inputs = [signals[i] for i in step.predecessors]
+                    signals[step.index] = self._simulate(step.node,
+                                                         node_inputs, fixed)
         outputs = {name: signals[index]
                    for name, index in zip(self.output_names,
                                           self.output_indices)}
@@ -662,22 +670,27 @@ class CompiledPlan:
         stimulus = dict(zip(self.input_names, self._stimulus_slots(inputs)))
         reference: list = [None] * len(self.steps)
         tape = self._codegen_tape()
-        fixed: list = (tape.execute(stimulus) if tape is not None
-                       else [None] * len(self.steps))
-        for step in self.steps:
-            if isinstance(step.node, InputNode):
-                value = stimulus[step.name]
-                reference[step.index] = value
+        engine = "tape" if tape is not None else "walk"
+        metric_inc("plan.runs", mode="pair", engine=engine)
+        with span("plan.run_pair", engine=engine):
+            fixed: list = (tape.execute(stimulus) if tape is not None
+                           else [None] * len(self.steps))
+            for step in self.steps:
+                if isinstance(step.node, InputNode):
+                    value = stimulus[step.name]
+                    reference[step.index] = value
+                    if tape is None:
+                        fixed[step.index] = (
+                            step.quantizer.quantize(value)
+                            if step.quantizer is not None else value)
+                    continue
+                reference[step.index] = self._simulate(
+                    step.node, [reference[i] for i in step.predecessors],
+                    False)
                 if tape is None:
-                    fixed[step.index] = (
-                        step.quantizer.quantize(value)
-                        if step.quantizer is not None else value)
-                continue
-            reference[step.index] = self._simulate(
-                step.node, [reference[i] for i in step.predecessors], False)
-            if tape is None:
-                fixed[step.index] = self._simulate(
-                    step.node, [fixed[i] for i in step.predecessors], True)
+                    fixed[step.index] = self._simulate(
+                        step.node, [fixed[i] for i in step.predecessors],
+                        True)
         results = []
         for signals in (reference, fixed):
             outputs = {name: signals[index]
@@ -977,6 +990,9 @@ def compile_plan(system: SignalFlowGraph | CompiledPlan) -> CompiledPlan:
     if plan is not None and plan._structure_signature == structure_signature(system):
         plan.refresh()
         return plan
-    plan = CompiledPlan(system)
+    with span("plan.compile", graph=system.name) as compile_span:
+        plan = CompiledPlan(system)
+        compile_span.set(steps=len(plan.steps),
+                         noise_sources=len(plan.noise_steps))
     setattr(system, _PLAN_ATTRIBUTE, plan)
     return plan

@@ -35,6 +35,8 @@ import importlib.util
 import os
 from contextlib import contextmanager
 
+from repro.obs import metric_inc
+
 #: Environment variable forcing a backend for the whole process.
 BACKEND_ENV = "REPRO_SIMD_BACKEND"
 
@@ -80,11 +82,12 @@ def _validate(name: str) -> str:
 def get_backend() -> str:
     """Resolve the active backend (override > environment > default)."""
     if _forced is not None:
-        return _forced
-    env = os.environ.get(BACKEND_ENV, "").strip()
-    if env:
-        return _validate(env)
-    return default_backend()
+        name = _forced
+    else:
+        env = os.environ.get(BACKEND_ENV, "").strip()
+        name = _validate(env) if env else default_backend()
+    metric_inc("sim.backend_dispatch", backend=name)
+    return name
 
 
 def set_backend(name: str | None) -> None:

@@ -31,7 +31,7 @@ and the plan silently falls back to the per-node schedule walk, where
 
 from __future__ import annotations
 
-import warnings
+import logging
 
 from repro.lti.filters import FixedPointFilterConfig
 from repro.sfg.nodes import (
@@ -45,7 +45,10 @@ from repro.sfg.nodes import (
     OutputNode,
     UpsampleNode,
 )
+from repro.obs import metric_inc, span
 from repro.simkernel.backend import numba_available
+
+logger = logging.getLogger("repro.simkernel.codegen")
 
 #: Tape op codes (shared with the packed numba kernel).
 OP_INPUT = 0
@@ -226,12 +229,19 @@ class PlanTape:
         """
         from repro.simkernel.codegen import interpreter
 
-        if numba_available():
-            from repro.simkernel.codegen import _njit
-            signals = _njit.try_execute(self, stimulus)
-            if signals is not None:
-                return signals
-        return interpreter.run(self, stimulus)
+        with span("tape.execute", ops=self.n_slots) as execute_span:
+            if numba_available():
+                from repro.simkernel.codegen import _njit
+                signals = _njit.try_execute(self, stimulus)
+                if signals is not None:
+                    metric_inc("tape.executions", backend="codegen",
+                               engine="njit")
+                    execute_span.set(engine="njit")
+                    return signals
+            metric_inc("tape.executions", backend="codegen",
+                       engine="interpreter")
+            execute_span.set(engine="interpreter")
+            return interpreter.run(self, stimulus)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"PlanTape(ops={self.n_slots}, binding={self.binding})"
@@ -259,8 +269,8 @@ def lower_plan(plan) -> PlanTape:
     tape = PlanTape(tuple(ops), input_slots)
     tape.bind(plan)
     if not numba_available():
-        warnings.warn(
+        logger.warning(
             "codegen backend: numba is not installed; op tapes will run "
             "through the pure-NumPy tape interpreter instead of the fused "
-            "JIT kernel", stacklevel=2)
+            "JIT kernel")
     return tape

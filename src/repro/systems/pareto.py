@@ -28,6 +28,7 @@ import numpy as np
 from repro.analysis.metrics import ed_deviation
 from repro.analysis.simulation_method import SimulationEvaluator
 from repro.data.signals import uniform_white_noise
+from repro.obs import span
 from repro.sfg.graph import SignalFlowGraph
 from repro.sfg.plan import compile_plan
 from repro.systems.wordlength import WordLengthOptimizer
@@ -222,7 +223,8 @@ def sweep_noise_budgets(system: SignalFlowGraph, budgets,
     front = ParetoFront(system=system.name, method=method)
     for budget in budgets:
         try:
-            result = optimizer.optimize(budget)
+            with span("pareto.budget", budget=budget, system=system.name):
+                result = optimizer.optimize(budget)
         except ValueError:
             # Budget unreachable even at max_bits: tighter ones are too.
             break
@@ -242,8 +244,10 @@ def sweep_noise_budgets(system: SignalFlowGraph, budgets,
                                               seed + index)
                     for index, name in enumerate(plan.input_names)}
         evaluator = SimulationEvaluator(plan)
-        measurements = evaluator.evaluate_batch(
-            [point.assignment for point in front.points], stimulus)
+        with span("pareto.validate", points=len(front.points),
+                  samples=validate_samples):
+            measurements = evaluator.evaluate_batch(
+                [point.assignment for point in front.points], stimulus)
         front.points = [
             ParetoPoint(
                 budget=point.budget,

@@ -50,6 +50,7 @@ from repro.analysis.agnostic_method import (
 )
 from repro.analysis.flat_method import evaluate_flat, evaluate_flat_batch
 from repro.analysis.psd_method import evaluate_psd, evaluate_psd_batch
+from repro.obs import metric_inc, span
 from repro.sfg.graph import SignalFlowGraph
 from repro.sfg.plan import compile_plan
 
@@ -188,10 +189,12 @@ class WordLengthOptimizer:
         """
         self._apply(assignment)
         self._evaluations += 1
-        if self.mode == "sequential":
-            with memoization_disabled():
-                return self._evaluate_current()
-        return self._evaluate_current()
+        metric_inc("optimizer.evaluations", mode=self.mode)
+        with span("optimizer.candidate", mode=self.mode):
+            if self.mode == "sequential":
+                with memoization_disabled():
+                    return self._evaluate_current()
+            return self._evaluate_current()
 
     def _evaluate_current(self) -> float:
         if self.method == "psd":
@@ -202,20 +205,26 @@ class WordLengthOptimizer:
 
     def _noise_powers(self, candidates: list[dict]) -> np.ndarray:
         """Evaluate a whole candidate round (strategy per ``mode``)."""
-        if self.mode != "batch":
-            # incremental: each candidate is a single-node delta against
-            # the incumbent memo; sequential: one cold walk each.
-            return np.array([self._noise_power(candidate)
-                             for candidate in candidates])
-        self._evaluations += len(candidates)
-        if self.method == "psd":
-            result = evaluate_psd_batch(self._plan, self.n_psd, candidates)
-            return np.asarray(result.total_power, dtype=float)
-        if self.method == "flat":
-            result = evaluate_flat_batch(self._plan, candidates)
-        else:
-            result = evaluate_agnostic_batch(self._plan, candidates)
-        return np.asarray(result.power, dtype=float)
+        with span("optimizer.round", mode=self.mode,
+                  candidates=len(candidates)):
+            if self.mode != "batch":
+                # incremental: each candidate is a single-node delta
+                # against the incumbent memo; sequential: one cold walk
+                # each.
+                return np.array([self._noise_power(candidate)
+                                 for candidate in candidates])
+            self._evaluations += len(candidates)
+            metric_inc("optimizer.evaluations", len(candidates),
+                       mode=self.mode)
+            if self.method == "psd":
+                result = evaluate_psd_batch(self._plan, self.n_psd,
+                                            candidates)
+                return np.asarray(result.total_power, dtype=float)
+            if self.method == "flat":
+                result = evaluate_flat_batch(self._plan, candidates)
+            else:
+                result = evaluate_agnostic_batch(self._plan, candidates)
+            return np.asarray(result.power, dtype=float)
 
     # ------------------------------------------------------------------
     # Search
@@ -234,25 +243,32 @@ class WordLengthOptimizer:
         """
         if budget <= 0:
             raise ValueError("the noise budget must be positive")
-        low, high = self.min_bits, self.max_bits
-        powers: dict[int, float] = {}
-        powers[high] = self._noise_power({n: high for n in self._tunable})
-        if powers[high] > budget:
-            raise ValueError(
-                f"the budget {budget:.3e} cannot be met even with "
-                f"{high} fractional bits everywhere")
-        while low < high:
-            middle = (low + high) // 2
-            powers[middle] = self._noise_power(
-                {n: middle for n in self._tunable})
-            if powers[middle] <= budget:
-                high = middle
-            else:
-                low = middle + 1
-        return {n: high for n in self._tunable}, powers[high]
+        with span("optimizer.uniform_search", budget=budget):
+            low, high = self.min_bits, self.max_bits
+            powers: dict[int, float] = {}
+            powers[high] = self._noise_power({n: high
+                                              for n in self._tunable})
+            if powers[high] > budget:
+                raise ValueError(
+                    f"the budget {budget:.3e} cannot be met even with "
+                    f"{high} fractional bits everywhere")
+            while low < high:
+                middle = (low + high) // 2
+                powers[middle] = self._noise_power(
+                    {n: middle for n in self._tunable})
+                if powers[middle] <= budget:
+                    high = middle
+                else:
+                    low = middle + 1
+            return {n: high for n in self._tunable}, powers[high]
 
     def optimize(self, budget: float) -> WordLengthResult:
         """Run the full greedy refinement under a noise-power budget."""
+        with span("optimizer.optimize", budget=budget, mode=self.mode,
+                  method=self.method):
+            return self._optimize(budget)
+
+    def _optimize(self, budget: float) -> WordLengthResult:
         self._evaluations = 0
         memo = (plan_memo(self._plan) if self.mode != "sequential"
                 else None)

@@ -57,6 +57,7 @@ from repro.analysis.psd_method import (
 )
 from repro.analysis.simulation_method import SimulationEvaluator
 from repro.data.signals import uniform_white_noise
+from repro.obs import span
 from repro.sfg.executor import SfgExecutor
 from repro.sfg.graph import SignalFlowGraph, is_multirate
 from repro.sfg.plan import CompiledPlan, compile_plan
@@ -406,12 +407,17 @@ def verify_graph(graph: SignalFlowGraph, seed: int = 0,
                    batch_configs=batch_configs, ed_samples=ed_samples,
                    discard_transient=discard_transient)
     for name in checks:
-        try:
-            detail = _CHECKS[name](graph, plan, **options)
-            verdict.checks.append(CheckResult(name, True, detail))
-        except _CheckFailure as failure:
-            verdict.checks.append(CheckResult(name, False, str(failure)))
-        except Exception as error:  # noqa: BLE001 - fuzzing must not stop
-            verdict.checks.append(CheckResult(
-                name, False, f"{type(error).__name__}: {error}"))
+        with span("verify.check", check=name,
+                  graph=graph.name) as check_span:
+            try:
+                detail = _CHECKS[name](graph, plan, **options)
+                verdict.checks.append(CheckResult(name, True, detail))
+                check_span.set(passed=True)
+            except _CheckFailure as failure:
+                verdict.checks.append(CheckResult(name, False, str(failure)))
+                check_span.set(passed=False)
+            except Exception as error:  # noqa: BLE001 - fuzzing must not stop
+                verdict.checks.append(CheckResult(
+                    name, False, f"{type(error).__name__}: {error}"))
+                check_span.set(passed=False)
     return verdict

@@ -5,7 +5,8 @@ Covers the whole-plan fusion path of :mod:`repro.simkernel.codegen`:
 * backend precedence (explicit override > ``REPRO_SIMD_BACKEND`` >
   auto-detected default) with ``codegen`` in the registry;
 * graceful degradation when numba is missing — the op tape runs through
-  the NumPy tape interpreter and warns exactly once, at lowering time;
+  the NumPy tape interpreter and logs one warning (on the
+  ``repro.simkernel.codegen`` logger) at lowering time;
 * bitwise equality of the codegen backend against the per-node numpy
   walk on every rounding mode, single-trial, batched and ``run_pair``;
 * the constants/structure split: requantizing a plan in place rebinds
@@ -20,7 +21,7 @@ Covers the whole-plan fusion path of :mod:`repro.simkernel.codegen`:
 
 from __future__ import annotations
 
-import warnings
+import logging
 
 import numpy as np
 import pytest
@@ -73,9 +74,7 @@ def _stimulus(samples: int = 512, seed: int = 11, trials: int = 0) -> dict:
 
 def _run_fixed(plan, stimulus, backend):
     with use_backend(backend):
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore")
-            return plan.run(stimulus, mode="fixed").output("y")
+        return plan.run(stimulus, mode="fixed").output("y")
 
 
 # ----------------------------------------------------------------------
@@ -113,18 +112,25 @@ class TestNumbaMissingDegradation:
     @pytest.mark.skipif(numba_available(),
                         reason="numba installed; the degradation path is "
                                "inactive")
-    def test_lowering_warns_once_and_matches_numpy(self):
+    def test_lowering_warns_once_and_matches_numpy(self, caplog):
         plan = compile_plan(_mixed_graph(name="codegen-warn"))
         stimulus = _stimulus()
         expected = _run_fixed(plan, stimulus, "numpy")
         with use_backend("codegen"):
-            with pytest.warns(UserWarning, match="numba is not installed"):
+            with caplog.at_level(logging.WARNING,
+                                 logger="repro.simkernel.codegen"):
                 first = plan.run(stimulus, mode="fixed").output("y")
+            degradations = [record for record in caplog.records
+                            if "numba is not installed" in record.message]
+            assert len(degradations) == 1
+            assert degradations[0].name == "repro.simkernel.codegen"
             # The warning fires at lowering time only — the cached tape
             # must re-execute silently.
-            with warnings.catch_warnings():
-                warnings.simplefilter("error")
+            caplog.clear()
+            with caplog.at_level(logging.WARNING,
+                                 logger="repro.simkernel.codegen"):
                 again = plan.run(stimulus, mode="fixed").output("y")
+            assert not caplog.records
         assert np.array_equal(first, expected)
         assert np.array_equal(again, expected)
 
@@ -158,9 +164,7 @@ class TestCodegenEquality:
         with use_backend("numpy"):
             ref_double, ref_fixed = plan.run_pair(stimulus)
         with use_backend("codegen"):
-            with warnings.catch_warnings():
-                warnings.simplefilter("ignore")
-                cg_double, cg_fixed = plan.run_pair(stimulus)
+            cg_double, cg_fixed = plan.run_pair(stimulus)
         assert np.array_equal(cg_double.output("y"), ref_double.output("y"))
         assert np.array_equal(cg_fixed.output("y"), ref_fixed.output("y"))
 
@@ -244,9 +248,7 @@ class TestUnsupportedPlanFallback:
 # ----------------------------------------------------------------------
 class TestPackedKernel:
     def _tape(self, graph):
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore")
-            return lower_plan(compile_plan(graph))
+        return lower_plan(compile_plan(graph))
 
     @pytest.mark.parametrize("rounding", list(RoundingMode))
     def test_packed_kernel_matches_interpreter(self, rounding):
@@ -291,12 +293,10 @@ class TestPackedKernel:
 # ----------------------------------------------------------------------
 class TestCliBackendFlag:
     def test_fuzz_runs_under_codegen(self, capsys):
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore")
-            code = main(["fuzz", "--count", "2", "--seed", "0",
-                         "--blocks", "4", "--samples", "1152",
-                         "--ed-samples", "4608", "--n-psd", "96",
-                         "--backend", "codegen"])
+        code = main(["fuzz", "--count", "2", "--seed", "0",
+                     "--blocks", "4", "--samples", "1152",
+                     "--ed-samples", "4608", "--n-psd", "96",
+                     "--backend", "codegen"])
         out = capsys.readouterr().out
         assert code == 0, out
         assert "all passed" in out
