@@ -116,6 +116,25 @@ def memoization_disabled():
 # ----------------------------------------------------------------------
 # Per-step evaluation rules (shared by cold walks and memo pulls)
 # ----------------------------------------------------------------------
+def _psd_inputs(step, values) -> list:
+    """Predecessor PSDs of a step, with fanout-tap noise injected.
+
+    A tapped edge re-quantizes the value it carries, so its white PQN
+    noise enters *before* the node's propagation rule — an IIR target
+    shapes it with the full block transfer function, not the internal
+    noise-shaping response.  No-op taps (``tap.noise is None``) are
+    skipped entirely, keeping tap-free plans bitwise untouched.
+    """
+    inputs = [values[i] for i in step.predecessors]
+    taps = step.edge_taps
+    if taps is not None:
+        for port, tap in enumerate(taps):
+            if tap is not None and tap.noise is not None:
+                psd = inputs[port]
+                inputs[port] = psd + DiscretePsd.white(tap.noise, psd.n_bins)
+    return inputs
+
+
 def _psd_step(plan: CompiledPlan, n_psd: int, step, values) -> DiscretePsd:
     node = step.node
     if step.is_source:
@@ -125,14 +144,23 @@ def _psd_step(plan: CompiledPlan, n_psd: int, step, values) -> DiscretePsd:
         # sampled once per (node, bins) and memoized on the plan.  The
         # input PSD may live on fewer bins than n_psd when the signal
         # was decimated upstream.
-        (psd,) = (values[i] for i in step.predecessors)
+        (psd,) = _psd_inputs(step, values)
         acc = psd.filtered(plan.block_response(step, psd.n_bins))
     else:
-        acc = node.propagate_psd([values[i] for i in step.predecessors],
-                                 n_psd)
+        acc = node.propagate_psd(_psd_inputs(step, values), n_psd)
     if step.noise is not None:
         acc = acc + plan.shaped_noise_psd(step, acc.n_bins)
     return acc
+
+
+def _stats_inputs(step, values) -> list:
+    inputs = [values[i] for i in step.predecessors]
+    taps = step.edge_taps
+    if taps is not None:
+        for port, tap in enumerate(taps):
+            if tap is not None and tap.noise is not None:
+                inputs[port] = inputs[port] + tap.noise
+    return inputs
 
 
 def _stats_step(plan: CompiledPlan, step, values) -> NoiseStats:
@@ -140,15 +168,26 @@ def _stats_step(plan: CompiledPlan, step, values) -> NoiseStats:
     if step.is_source:
         acc = NoiseStats(0.0, 0.0)
     elif isinstance(node, _LtiMixin):
-        (stats,) = (values[i] for i in step.predecessors)
+        (stats,) = _stats_inputs(step, values)
         energy, dc = plan.block_gains(step)
         acc = NoiseStats(mean=stats.mean * dc,
                          variance=stats.variance * energy)
     else:
-        acc = node.propagate_stats([values[i] for i in step.predecessors])
+        acc = node.propagate_stats(_stats_inputs(step, values))
     if step.noise is not None:
         acc = acc + plan.shaped_noise_stats(step)
     return acc
+
+
+def _tracked_inputs(step, values, n_psd: int) -> list:
+    inputs = [values[i] for i in step.predecessors]
+    taps = step.edge_taps
+    if taps is not None:
+        for port, tap in enumerate(taps):
+            if tap is not None and tap.noise is not None:
+                inputs[port] = inputs[port] + TrackedSpectrum.from_source(
+                    tap.key, tap.noise, n_psd)
+    return inputs
 
 
 def _tracked_step(plan: CompiledPlan, n_psd: int, step,
@@ -157,10 +196,10 @@ def _tracked_step(plan: CompiledPlan, n_psd: int, step,
     if step.is_source:
         acc = TrackedSpectrum.zero(n_psd)
     elif isinstance(node, _LtiMixin):
-        (tracked,) = (values[i] for i in step.predecessors)
+        (tracked,) = _tracked_inputs(step, values, n_psd)
         acc = tracked.filtered(plan.block_response(step, n_psd))
     else:
-        acc = node.propagate_tracked([values[i] for i in step.predecessors],
+        acc = node.propagate_tracked(_tracked_inputs(step, values, n_psd),
                                      n_psd)
     if step.noise is not None:
         acc = acc + plan.shaped_noise_tracked(step, n_psd)
@@ -398,27 +437,43 @@ def walk_tracked(plan: CompiledPlan, n_psd: int) -> dict[str, TrackedSpectrum]:
 # ----------------------------------------------------------------------
 # Batched plan walks (one pass per configuration stack)
 # ----------------------------------------------------------------------
+def _psd_batch_inputs(stack: ConfigStack, step, slots) -> list:
+    """Predecessor PSD stacks with per-config fanout-tap noise injected.
+
+    Mirrors :func:`_psd_inputs` row by row: a port is injected when *any*
+    config taps it (silent configs add exact zeros, the same contract as
+    the own-noise injection below).
+    """
+    inputs = [slots[i] for i in step.predecessors]
+    noise = stack.edge_noise(step)
+    if noise:
+        for port, (means, variances) in noise.items():
+            psd = inputs[port]
+            inputs[port] = psd + PsdStack.white(means, variances, psd.n_bins)
+    return inputs
+
+
 def _psd_batch_step(plan: CompiledPlan, n_psd: int, stack: ConfigStack,
                     step, slots) -> PsdStack:
     node = step.node
     if step.is_source:
         acc = PsdStack.zero(stack.size, n_psd)
     elif isinstance(node, _LtiMixin):
-        (psd,) = (slots[i] for i in step.predecessors)
+        (psd,) = _psd_batch_inputs(stack, step, slots)
         acc = psd.filtered(stack.block_response(step, psd.n_bins))
     elif isinstance(node, AddNode):
-        inputs = [slots[i] for i in step.predecessors]
+        inputs = _psd_batch_inputs(stack, step, slots)
         acc = PsdStack.zero(stack.size, inputs[0].n_bins)
         for sign, psd in zip(node.signs, inputs):
             acc = acc + psd.scaled(sign)
     elif isinstance(node, OutputNode):
-        (psd,) = (slots[i] for i in step.predecessors)
+        (psd,) = _psd_batch_inputs(stack, step, slots)
         acc = psd.copy()
     elif isinstance(node, DownsampleNode):
-        (psd,) = (slots[i] for i in step.predecessors)
+        (psd,) = _psd_batch_inputs(stack, step, slots)
         acc = psd.downsampled(node.factor)
     elif isinstance(node, UpsampleNode):
-        (psd,) = (slots[i] for i in step.predecessors)
+        (psd,) = _psd_batch_inputs(stack, step, slots)
         acc = psd.upsampled(node.factor)
     else:
         raise NotImplementedError(
@@ -434,6 +489,16 @@ def _psd_batch_step(plan: CompiledPlan, n_psd: int, stack: ConfigStack,
     return acc
 
 
+def _stats_batch_inputs(stack: ConfigStack, step, slots) -> list:
+    inputs = [slots[i] for i in step.predecessors]
+    noise = stack.edge_noise(step)
+    if noise:
+        for port, (means, variances) in noise.items():
+            inputs[port] = inputs[port] + NoiseStats(mean=means,
+                                                     variance=variances)
+    return inputs
+
+
 def _stats_batch_step(plan: CompiledPlan, stack: ConfigStack, step,
                       slots) -> NoiseStats:
     node = step.node
@@ -441,12 +506,12 @@ def _stats_batch_step(plan: CompiledPlan, stack: ConfigStack, step,
         zeros = np.zeros(stack.size)
         acc = NoiseStats(mean=zeros, variance=zeros)
     elif isinstance(node, _LtiMixin):
-        (stats,) = (slots[i] for i in step.predecessors)
+        (stats,) = _stats_batch_inputs(stack, step, slots)
         energy, dc = stack.block_gains(step)
         acc = NoiseStats(mean=stats.mean * dc,
                          variance=stats.variance * energy)
     else:
-        acc = node.propagate_stats([slots[i] for i in step.predecessors])
+        acc = node.propagate_stats(_stats_batch_inputs(stack, step, slots))
     noise = stack.noise(step)
     if noise is not None:
         means, variances = noise
@@ -463,14 +528,28 @@ def _deviant_cone(plan: CompiledPlan, stack: ConfigStack) -> set[int]:
     """Steps the batched walk must actually vectorize.
 
     A step is *deviant* when some config of the stack gives it a word
-    length other than the plan's live one; outside the downstream cone of
-    the deviant steps, every config's row provably equals the scalar walk
-    of the live configuration, so the cached scalar value can be
-    broadcast instead of recomputed.
+    length — its own, or a tap on one of its incoming edges — other than
+    the plan's live one; outside the downstream cone of the deviant
+    steps, every config's row provably equals the scalar walk of the
+    live configuration, so the cached scalar value can be broadcast
+    instead of recomputed.
     """
-    deviant = [step.index for step in plan.steps
-               if any(b != step.node.quantization.fractional_bits
-                      for b in stack.bits(step))]
+    deviant = []
+    for step in plan.steps:
+        if any(b != step.node.quantization.fractional_bits
+               for b in stack.bits(step)):
+            deviant.append(step.index)
+            continue
+        edge_bits = stack.edge_bits(step)
+        if edge_bits:
+            taps = step.edge_taps
+            for port, bits in edge_bits.items():
+                live = None
+                if taps is not None and taps[port] is not None:
+                    live = taps[port].bits
+                if any(b != live for b in bits):
+                    deviant.append(step.index)
+                    break
     return set(plan.downstream_cone(deviant)) if deviant else set()
 
 

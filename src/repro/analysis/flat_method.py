@@ -38,7 +38,7 @@ from repro.sfg.nodes import (
     UpsampleNode,
     _LtiMixin,
 )
-from repro.sfg.plan import CompiledPlan, compile_plan
+from repro.sfg.plan import CompiledPlan, compile_plan, parse_edge_key
 
 
 def source_path_functions(system: SignalFlowGraph | CompiledPlan,
@@ -46,25 +46,31 @@ def source_path_functions(system: SignalFlowGraph | CompiledPlan,
                           sources=None) -> dict[str, TransferFunction]:
     """Path transfer function from every noise source to the output.
 
-    Returns a mapping ``{source node name: h_i}``.  A node generates a
-    source when its quantization spec is enabled; for IIR nodes the source
-    is pre-shaped by ``1 / A(z)`` (the quantizer lives inside the
-    recursion).
+    Returns a mapping ``{source name: h_i}``.  A node generates a source
+    when its quantization spec is enabled; for IIR nodes the source is
+    pre-shaped by ``1 / A(z)`` (the quantizer lives inside the
+    recursion).  A source may also be a ``"source->target"`` edge key: a
+    fanout tap's noise enters at the *target's* input port, so its path
+    function starts as the identity there and is shaped by the target's
+    full block transfer function (not an IIR's internal noise-shaping
+    response).
 
     Parameters
     ----------
     system, output:
         Graph (or plan) and the output node to reach.
     sources:
-        Optional explicit set of node names to treat as sources.  The
-        default — the plan's current noise-generating steps — is what
+        Optional explicit set of source names (node names and/or edge
+        keys).  The default — the plan's current noise-generating steps
+        plus its noise-injecting fanout taps — is what
         :func:`evaluate_flat` needs; the batched evaluation passes the
-        union of the stack's noisy steps instead.
+        union of the stack's noisy sources instead.
     """
     plan = compile_plan(system)
     output_name = plan.resolve_output(output)
     if sources is None:
-        sources = {step.name for step in plan.noise_steps}
+        sources = ({step.name for step in plan.noise_steps}
+                   | {tap.key for _, _, tap in plan.active_edge_taps()})
     cache = key = None
     if memoization_enabled():
         # Path functions depend only on the coefficient fingerprint (the
@@ -78,6 +84,17 @@ def source_path_functions(system: SignalFlowGraph | CompiledPlan,
             cache.move_to_end(key)
             return dict(cached)
 
+    # Edge sources inject an identity path function at their target's
+    # input port; resolved up front so the DP below stays a plain walk.
+    # Injection is driven by the requested source set, not the plan's
+    # live tap state, so batch groups can request a stack-wide union.
+    edge_injections: dict[int, dict[int, str]] = {}
+    for name in sources:
+        if name in plan.index_of:
+            continue
+        target_index, port = plan._resolve_edge(*parse_edge_key(name))
+        edge_injections.setdefault(target_index, {})[port] = name
+
     # paths[index] maps source name -> transfer function from the source to
     # this node's output.
     paths: list[dict[str, TransferFunction]] = [None] * len(plan.steps)
@@ -88,6 +105,13 @@ def source_path_functions(system: SignalFlowGraph | CompiledPlan,
             accumulated: dict[str, TransferFunction] = {}
         else:
             input_maps = [paths[i] for i in step.predecessors]
+            injections = edge_injections.get(step.index)
+            if injections:
+                input_maps = list(input_maps)
+                for port, source_key in injections.items():
+                    tapped = dict(input_maps[port])
+                    tapped[source_key] = TransferFunction.identity()
+                    input_maps[port] = tapped
             accumulated = _propagate_paths(node, input_maps, plan, step)
         if step.name in sources:
             shaping = (plan.shaping_tf(step)
@@ -112,6 +136,8 @@ def evaluate_flat(system: SignalFlowGraph | CompiledPlan,
     plan = compile_plan(system)
     path_functions = source_path_functions(plan, output)
     sources = {step.name: step.noise for step in plan.noise_steps}
+    for _, _, tap in plan.active_edge_taps():
+        sources[tap.key] = tap.noise
 
     total_variance = 0.0
     mean_contributions = []
@@ -148,12 +174,15 @@ def evaluate_flat_batch(system: SignalFlowGraph | CompiledPlan,
     noise_by_name = {step.name: stack.noise(step)
                      for step in plan.steps
                      if stack.noise(step) is not None}
+    noise_by_name.update(stack.edge_noise_sources())
 
     with plan.preserve_quantization():
         for members in stack.coefficient_groups():
             # The representative config fixes every coefficient precision
             # of the group; path functions are computed once under it.
-            plan.requantize(stack.resolved(members[0]))
+            # allow_enable: a stack config may legitimately enable a
+            # node the live plan leaves unquantized.
+            plan.requantize(stack.resolved(members[0]), allow_enable=True)
             noisy_names = _group_noisy_names(plan, stack, members)
             path_functions = source_path_functions(plan, output,
                                                    sources=noisy_names)
@@ -179,7 +208,7 @@ def evaluate_flat_batch(system: SignalFlowGraph | CompiledPlan,
 
 
 def _group_noisy_names(plan: CompiledPlan, stack, members) -> set[str]:
-    """Names of steps generating noise for at least one group member."""
+    """Sources (steps and fanout taps) noisy for some group member."""
     names = set()
     for step in plan.steps:
         noise = stack.noise(step)
@@ -189,6 +218,11 @@ def _group_noisy_names(plan: CompiledPlan, stack, members) -> set[str]:
         if any(source_variances[k] != 0.0 or source_means[k] != 0.0
                for k in members):
             names.add(step.name)
+    for key, (source_means, source_variances) in \
+            stack.edge_noise_sources().items():
+        if any(source_variances[k] != 0.0 or source_means[k] != 0.0
+               for k in members):
+            names.add(key)
     return names
 
 

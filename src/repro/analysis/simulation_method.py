@@ -255,7 +255,8 @@ class SimulationEvaluator:
         with span("sim.evaluate_batch", configs=stack.size,
                   output=output or ""), plan.preserve_quantization():
             for members in stack.coefficient_groups():
-                plan.requantize(stack.resolved(members[0]))
+                plan.requantize(stack.resolved(members[0]),
+                                allow_enable=True)
                 memo = key = reference = None
                 if digest is not None:
                     memo = _reference_memo(plan)
@@ -271,7 +272,7 @@ class SimulationEvaluator:
                     if memo is not None:
                         _memo_store(memo, key, reference)
                 for k in members:
-                    plan.requantize(stack.resolved(k))
+                    plan.requantize(stack.resolved(k), allow_enable=True)
                     fixed = plan.run(stimulus, mode="fixed").output(output)
                     if reference.shape != fixed.shape:
                         raise ValueError(

@@ -338,6 +338,96 @@ def bench_incremental_reeval(samples: int | None = None, branches: int = 64,
         warmup_s=warmup, tags=("smoke", "analysis"))
 
 
+@_registered("fine_grained_search", tags=("smoke", "analysis"),
+             description="Per-edge word-length search: dirty-cone tap "
+                         "edits vs cold walks, edge- vs node-level "
+                         "search cost at one budget")
+def bench_fine_grained_search(samples: int | None = None, branches: int = 16,
+                              candidates: int = 16, n_psd: int = 256,
+                              budget_factor: float = 16.0,
+                              seed: int = 9) -> dict:
+    """Per-edge requantize edits and searches on the scalability bank.
+
+    Two claims are measured on the same graph:
+
+    * a single fanout-tap edit (``x->branch_i``) re-evaluates in its
+      dirty downstream cone, not the whole graph — replayed cold
+      (memoization disabled) vs warm, bitwise-identical powers required
+      before the ``per_candidate`` speedup is reported;
+    * at the same noise budget, the edge-granularity greedy search ends
+      at strictly fewer total fractional bits than the node-level one
+      (reported in the workload as ``node_total_bits`` /
+      ``edge_total_bits``; the run fails if the edge search is not
+      strictly cheaper).
+
+    ``samples`` is accepted for CLI uniformity but ignored: the
+    workload is graph-size-bound, not stimulus-bound.
+    """
+    del samples, seed  # deterministic workload; kept for CLI uniformity
+    from repro.analysis._engine import memoization_disabled, plan_memo
+    from repro.analysis.psd_method import evaluate_psd
+    from repro.sfg.plan import compile_plan
+    from repro.systems.families import build_scalability_bank
+    from repro.systems.wordlength import WordLengthOptimizer
+
+    graph = build_scalability_bank(branches=branches)
+    plan = compile_plan(graph)
+    budget = float(evaluate_psd(plan, n_psd).total_power) * budget_factor
+
+    count = min(candidates, branches)
+    edits = [(f"x->branch{index}", 12 - index % 2) for index in range(count)]
+
+    def replay() -> list:
+        powers = []
+        with plan.preserve_quantization():
+            for key, bits in edits:
+                plan.requantize({key: bits})
+                powers.append(evaluate_psd(plan, n_psd).total_power)
+        return powers
+
+    def replay_cold() -> list:
+        with memoization_disabled():
+            return replay()
+
+    warmup: dict = {}
+    cold_powers, cold_seconds, warmup["full_walks"] = _timed_warm(replay_cold)
+    # Sync the memo on the restored (tap-free) quantization so the timed
+    # run measures steady-state cone pulls, not the initial cold build.
+    evaluate_psd(plan, n_psd)
+    warm_powers, warm_seconds, warmup["dirty_cones"] = _timed_warm(replay)
+    _require_bitwise("fine_grained_search", cold_powers, warm_powers)
+    counters = plan_memo(plan).counters()
+
+    node_result = WordLengthOptimizer(
+        build_scalability_bank(branches=branches),
+        n_psd=n_psd).optimize(budget)
+    edge_result = WordLengthOptimizer(
+        build_scalability_bank(branches=branches), n_psd=n_psd,
+        granularity="edge").optimize(budget)
+    if edge_result.total_bits >= node_result.total_bits:
+        raise RuntimeError(
+            f"fine_grained_search: edge-granularity search ended at "
+            f"{edge_result.total_bits} total bits, not strictly below "
+            f"the node-level {node_result.total_bits} at the same "
+            f"budget {budget:.3e}")
+    return bench_payload(
+        "fine_grained_search",
+        workload={"system": graph.name, "branches": branches,
+                  "steps": len(plan.steps), "candidates": count,
+                  "n_psd": n_psd, "budget_factor": budget_factor,
+                  "node_total_bits": node_result.total_bits,
+                  "edge_total_bits": edge_result.total_bits,
+                  "node_evaluations": node_result.evaluations,
+                  "edge_evaluations": edge_result.evaluations,
+                  "steps_recomputed": counters["steps_recomputed"],
+                  "steps_reused": counters["steps_reused"]},
+        seconds={"full_walks": cold_seconds, "dirty_cones": warm_seconds,
+                 "full_per_candidate": cold_seconds / count,
+                 "cone_per_candidate": warm_seconds / count},
+        speedup={"per_candidate": cold_seconds / warm_seconds},
+        warmup_s=warmup, tags=("smoke", "analysis"))
+
+
 def run_benches(entries, results_dir, samples: int | None = None) -> list[dict]:
     """Run benches, write their BENCH_*.json files, return the payloads."""
     from repro.obs import span

@@ -40,6 +40,7 @@ from repro.systems.families import (
     build_fft_butterfly,
     build_interpolator_chain,
     build_polyphase_decimator,
+    build_scalability_bank,
 )
 from repro.systems.filter_bank import build_filter_graph, generate_iir_bank
 from repro.systems.random_graphs import build_random_graph
@@ -261,6 +262,27 @@ def _scenario_random(params):
         int(params["seed"]), blocks=int(params["blocks"]),
         multirate=bool(int(params["multirate"])), factors=(2,))
     return graph, StimulusSpec(num_samples=18_000, discard_transient=384), \
+        (1e-4, 1e-6, 1e-8)
+
+
+@register_scenario(
+    "scalability_bank",
+    description="wide bank of quantized FIR branches under an unquantized "
+                "adder tree (the dirty-cone and fine-grained-search "
+                "ablation workload)",
+    branches=16, taps=17, fractional_bits=14)
+def _scenario_scalability_bank(params):
+    graph = build_scalability_bank(
+        branches=int(params["branches"]), taps=int(params["taps"]),
+        fractional_bits=int(params["fractional_bits"]))
+    # Keep only the per-branch noise sources: a quantized input would be
+    # one source reconverging through every branch, and the PQN adder
+    # sum (uncorrelated inputs) underestimates that correlated pile-up.
+    # One independent source per FIR branch is exactly the PQN domain,
+    # and the shape the dirty-cone ablation times.
+    node = graph.node("x")
+    node.quantization = node.quantization.with_fractional_bits(None)
+    return graph, StimulusSpec(num_samples=16_000, discard_transient=128), \
         (1e-4, 1e-6, 1e-8)
 
 

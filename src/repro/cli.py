@@ -156,6 +156,10 @@ def build_parser() -> argparse.ArgumentParser:
                           choices=("psd", "flat", "agnostic"))
     optimize.add_argument("--min-bits", type=int, default=4)
     optimize.add_argument("--max-bits", type=int, default=24)
+    optimize.add_argument("--granularity", default="node",
+                          choices=("node", "edge"),
+                          help="tune one width per quantized node (default) "
+                               "or additionally one per fanout branch")
 
     sweep = commands.add_parser(
         "sweep",
@@ -171,6 +175,10 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("psd", "flat", "agnostic"))
     sweep.add_argument("--min-bits", type=int, default=4)
     sweep.add_argument("--max-bits", type=int, default=24)
+    sweep.add_argument("--granularity", default="node",
+                       choices=("node", "edge"),
+                       help="tune one width per quantized node (default) "
+                            "or additionally one per fanout branch")
     sweep.add_argument("--validate-samples", type=int, default=0,
                        help="cross-validate every point by a Monte-Carlo "
                             "run of this many samples (0 disables)")
@@ -393,9 +401,10 @@ def _command_optimize(args) -> int:
     optimizer = WordLengthOptimizer(graph, method=args.method,
                                     n_psd=args.n_psd,
                                     min_bits=args.min_bits,
-                                    max_bits=args.max_bits)
+                                    max_bits=args.max_bits,
+                                    granularity=args.granularity)
     result = optimizer.optimize(args.budget)
-    table = TextTable(["node", "fractional bits"],
+    table = TextTable(["signal", "fractional bits"],
                       title=f"{graph.name}: optimized word lengths "
                             f"(budget {args.budget:.3e})")
     for name, bits in sorted(result.assignment.items()):
@@ -423,6 +432,7 @@ def _command_sweep(args) -> int:
         method=args.method, n_psd=args.n_psd,
         min_bits=args.min_bits, max_bits=args.max_bits,
         mode="sequential" if args.sequential else None,
+        granularity=args.granularity,
         validate_samples=args.validate_samples, seed=args.seed)
     if not front.points:
         print("error: no budget in the sweep is reachable within "

@@ -331,7 +331,8 @@ def integer_bits_for_range(interval: Interval, signed: bool = True) -> int:
 
 def assign_integer_bits(graph: SignalFlowGraph, input_ranges: dict,
                         method: str = "interval",
-                        margin_bits: int = 0) -> dict:
+                        margin_bits: int = 0,
+                        signed: bool = True) -> dict:
     """Integer bit counts for every node, derived from range analysis.
 
     Parameters
@@ -340,10 +341,33 @@ def assign_integer_bits(graph: SignalFlowGraph, input_ranges: dict,
         Forwarded to :func:`analyze_ranges`.
     margin_bits:
         Extra guard bits added to every node (defensive headroom).
+    signed:
+        Forwarded to :func:`integer_bits_for_range`.  Pass ``False``
+        for unsigned datapaths: the negative boundary ``-2**k`` that a
+        signed format represents for free is then unavailable, so
+        power-of-two magnitudes cost one more integer bit.
     """
     ranges = analyze_ranges(graph, input_ranges, method=method)
-    return {name: integer_bits_for_range(interval) + margin_bits
+    return {name: integer_bits_for_range(interval, signed=signed)
+            + margin_bits
             for name, interval in ranges.items()}
+
+
+def apply_integer_bits(graph: SignalFlowGraph, integer_bits: dict) -> None:
+    """Pin per-signal integer widths onto the graph's quantization specs.
+
+    ``integer_bits`` is typically the output of
+    :func:`assign_integer_bits`; names that are not quantized nodes of
+    ``graph`` are ignored (range analysis also reports inputs and
+    outputs, which carry no quantizer).  The plan layer folds the pinned
+    widths into its quantization signature, so a recompiled or refreshed
+    plan picks them up like any other spec change.
+    """
+    for name, bits in integer_bits.items():
+        node = graph.nodes.get(name)
+        if node is None or not hasattr(node, "quantization"):
+            continue
+        node.quantization = node.quantization.with_integer_bits(int(bits))
 
 
 def simulate_ranges(graph: SignalFlowGraph, stimulus: dict,

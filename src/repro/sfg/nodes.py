@@ -20,7 +20,7 @@ corresponding additive noise source is returned by
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from functools import lru_cache
 
 import numpy as np
@@ -53,16 +53,44 @@ class QuantizationSpec:
         the noise model for re-quantization; ``None`` means the input is
         treated as continuous-amplitude (the usual, conservative PQN
         assumption).
+    edge_fractional_bits:
+        Per-fanout-branch word lengths: sorted ``(target name, bits)``
+        pairs, each re-quantizing the value carried by the single edge
+        from this node to ``target name`` (the node's own output keeps
+        ``fractional_bits``).  A tap with at least as many bits as the
+        node output is a no-op (the value already lives on the coarser
+        grid) and injects exactly zero noise.  Stored as a tuple so the
+        spec stays hashable; dicts are normalized on construction.
+    integer_bits:
+        Per-signal integer width of the data-path quantizer (fed by
+        :func:`repro.fixedpoint.range_analysis.assign_integer_bits`);
+        ``None`` keeps the legacy 15-bit default.  Overflow handling is
+        ``OverflowMode.NONE``, so the integer width never changes
+        simulated values — it only documents/sizes the datapath.
     """
 
     fractional_bits: int | None
     rounding: RoundingMode = RoundingMode.ROUND
     coefficient_fractional_bits: int | None = None
     input_fractional_bits: int | None = None
+    edge_fractional_bits: tuple = ()
+    integer_bits: int | None = None
+
+    def __post_init__(self):
+        entries = self.edge_fractional_bits
+        if isinstance(entries, dict):
+            entries = entries.items()
+        normalized = tuple(sorted((str(target), int(bits))
+                                  for target, bits in entries))
+        if len({target for target, _ in normalized}) != len(normalized):
+            raise ValueError(
+                "duplicate target in edge_fractional_bits: "
+                f"{self.edge_fractional_bits!r}")
+        object.__setattr__(self, "edge_fractional_bits", normalized)
 
     @property
     def enabled(self) -> bool:
-        """Whether this spec actually quantizes anything."""
+        """Whether this spec quantizes the node's own output."""
         return self.fractional_bits is not None
 
     @property
@@ -72,17 +100,43 @@ class QuantizationSpec:
             return self.fractional_bits
         return self.coefficient_fractional_bits
 
-    def quantizer(self, integer_bits: int = 15) -> Quantizer:
+    def quantizer(self, integer_bits: int | None = None) -> Quantizer:
         """Data-path quantizer described by this spec.
 
         Specs are frozen value objects, so the quantizer is memoized: the
         execution hot paths get one pre-constructed quantizer per distinct
-        specification instead of building a fresh object per call.
+        specification instead of building a fresh object per call.  The
+        integer width defaults to the spec's own :attr:`integer_bits`
+        (the legacy 15 when unset).
         """
         if not self.enabled:
             raise ValueError("cannot build a quantizer from a disabled spec")
+        if integer_bits is None:
+            integer_bits = 15 if self.integer_bits is None else self.integer_bits
         return _build_quantizer(self.fractional_bits, self.rounding,
                                 integer_bits)
+
+    def edge_quantizer(self, bits: int) -> Quantizer:
+        """Quantizer of a fanout tap carrying this node's output.
+
+        The tap re-quantizes the *source* signal, so it inherits the
+        source spec's rounding mode and integer width.
+        """
+        integer = 15 if self.integer_bits is None else self.integer_bits
+        return _build_quantizer(int(bits), self.rounding, integer)
+
+    def edge_noise_stats(self, bits: int) -> NoiseStats:
+        """PQN moments of the noise a fanout tap of ``bits`` bits injects.
+
+        The tap input lives on the source's own output grid when the node
+        quantizes (``fractional_bits``); a tap at least as fine as that
+        grid is exactly noiseless.
+        """
+        return quantization_noise_stats(
+            int(bits),
+            rounding=self.rounding,
+            input_fractional_bits=self.fractional_bits,
+        )
 
     def noise_stats(self) -> NoiseStats:
         """PQN-model moments of the noise injected by this quantizer."""
@@ -95,13 +149,33 @@ class QuantizationSpec:
         )
 
     def with_fractional_bits(self, fractional_bits: int | None) -> "QuantizationSpec":
-        """Copy of the spec with a different data word length."""
-        return QuantizationSpec(
-            fractional_bits=fractional_bits,
-            rounding=self.rounding,
-            coefficient_fractional_bits=self.coefficient_fractional_bits,
-            input_fractional_bits=self.input_fractional_bits,
-        )
+        """Copy of the spec with a different data word length.
+
+        Implemented with :func:`dataclasses.replace` so every other field
+        — including ones added later — is carried over by construction.
+        """
+        return replace(self, fractional_bits=fractional_bits)
+
+    def edge_bits_for(self, target: str) -> int | None:
+        """Fanout-tap word length toward ``target``, ``None`` when untapped."""
+        for name, bits in self.edge_fractional_bits:
+            if name == target:
+                return bits
+        return None
+
+    def with_edge_fractional_bits(self, target: str,
+                                  bits: int | None) -> "QuantizationSpec":
+        """Copy with the tap toward ``target`` set (``None`` removes it)."""
+        entries = dict(self.edge_fractional_bits)
+        if bits is None:
+            entries.pop(str(target), None)
+        else:
+            entries[str(target)] = int(bits)
+        return replace(self, edge_fractional_bits=tuple(sorted(entries.items())))
+
+    def with_integer_bits(self, integer_bits: int | None) -> "QuantizationSpec":
+        """Copy of the spec with a different integer width."""
+        return replace(self, integer_bits=integer_bits)
 
 
 _NO_QUANTIZATION = QuantizationSpec(fractional_bits=None)

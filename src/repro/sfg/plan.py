@@ -49,7 +49,7 @@ from contextlib import contextmanager
 
 import numpy as np
 
-from repro.fixedpoint.noise_model import NoiseStats
+from repro.fixedpoint.noise_model import NoiseStats, quantization_noise_stats
 from repro.lti.transfer_function import TransferFunction
 from repro.obs import metric_inc, span
 from repro.psd.spectrum import DiscretePsd
@@ -68,6 +68,70 @@ from repro.sfg.nodes import (
     UpsampleNode,
     _LtiMixin,
 )
+
+
+def parse_edge_key(key: str) -> tuple[str, str]:
+    """Split a ``"source->target"`` edge key into its node names."""
+    source, separator, target = key.partition("->")
+    if not separator or not source or not target:
+        raise ValueError(
+            f"{key!r} is neither a node name nor a 'source->target' edge "
+            "key")
+    return source, target
+
+
+class EdgeTap:
+    """A per-fanout-branch re-quantizer on one edge of the schedule.
+
+    Materialized from the *source* node's
+    :attr:`~repro.sfg.nodes.QuantizationSpec.edge_fractional_bits` entry
+    toward this step, and stored on the *target* step (aligned with its
+    predecessor ports) because that is where both the fixed-point walk
+    and the analytical engines consume the tapped value.
+
+    Attributes
+    ----------
+    key:
+        The ``"source->target"`` assignment key of this tap.
+    bits:
+        Fractional word length of the tap.
+    rounding, input_bits:
+        Rounding mode and input-grid precision inherited from the source
+        spec (``input_bits`` is the source's own output word length, or
+        ``None`` when the source does not quantize).
+    quantizer:
+        Pre-constructed quantizer applied to the tapped value in fixed
+        point.
+    noise:
+        PQN moments the tap injects, or ``None`` when the tap is a no-op
+        (at least as fine as the source grid — then the quantizer is
+        numerically the identity and the noise is exactly zero).
+    """
+
+    __slots__ = ("key", "bits", "rounding", "input_bits", "quantizer",
+                 "noise")
+
+    def __init__(self, key: str, bits: int, rounding, input_bits,
+                 quantizer, noise: NoiseStats | None):
+        self.key = key
+        self.bits = bits
+        self.rounding = rounding
+        self.input_bits = input_bits
+        self.quantizer = quantizer
+        self.noise = noise
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"EdgeTap({self.key!r}, bits={self.bits})"
+
+
+def _taps_signature(taps) -> tuple | None:
+    if taps is None:
+        return None
+    return tuple(
+        None if tap is None else
+        (tap.bits, tap.rounding, tap.input_bits,
+         None if tap.noise is None else (tap.noise.mean, tap.noise.variance))
+        for tap in taps)
 
 
 class PlanStep:
@@ -94,10 +158,14 @@ class PlanStep:
     noise:
         Moments of the node's own quantization-noise source, or ``None``
         when the node is noiseless under its current specification.
+    edge_taps:
+        ``None`` when no incoming edge is tapped; otherwise a tuple
+        aligned with :attr:`predecessors` holding an :class:`EdgeTap`
+        (or ``None``) per input port.
     """
 
     __slots__ = ("index", "name", "node", "predecessors", "is_source",
-                 "quantizer", "noise")
+                 "quantizer", "noise", "edge_taps")
 
     def __init__(self, index: int, name: str, node: Node,
                  predecessors: tuple[int, ...]):
@@ -108,6 +176,7 @@ class PlanStep:
         self.is_source = isinstance(node, InputNode) or node.num_inputs == 0
         self.quantizer = None
         self.noise: NoiseStats | None = None
+        self.edge_taps: tuple | None = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"PlanStep({self.index}, {self.name!r})"
@@ -158,6 +227,17 @@ class CompiledPlan:
                 successors[predecessor].add(step.index)
         self._successors: tuple[tuple[int, ...], ...] = tuple(
             tuple(sorted(s)) for s in successors)
+        # Edge index for per-edge word lengths: (source, target) -> the
+        # (target step, input port) slots that pair connects.  A pair
+        # wired on several ports makes an edge key ambiguous, which
+        # _resolve_edge rejects.
+        edge_index: dict[tuple[str, str], list[tuple[int, int]]] = {}
+        for name in order:
+            for edge in graph.predecessors(name):
+                edge_index.setdefault((edge.source, name), []).append(
+                    (index_of[name], edge.port))
+        self._edge_index = edge_index
+        self._any_edge_taps = False
         # Signatures iterate graph.nodes in insertion order while steps are
         # topologically ordered; this maps signature position -> step index.
         self._node_order: tuple[int, ...] = tuple(
@@ -236,10 +316,24 @@ class CompiledPlan:
         if signature != self._quantization_signature:
             previous = self._quantization_signature
             if len(previous) == len(signature) == num_steps:
-                changed |= {self._node_order[i]
-                            for i, (was, now)
-                            in enumerate(zip(previous, signature))
-                            if was != now}
+                for i, (was, now) in enumerate(zip(previous, signature)):
+                    if was == now:
+                        continue
+                    index = self._node_order[i]
+                    changed.add(index)
+                    # A fanout tap's noise lives on the *target* step but
+                    # depends on the source's word length, rounding and
+                    # edge entries (signature components 0, 1 and 4): a
+                    # change to any of them marks the tapped targets, so
+                    # a one-edge edit dirties exactly the target's cone
+                    # while the source step's own value stays cached.
+                    if (was[0], was[1], was[4]) != (now[0], now[1], now[4]):
+                        source = self.steps[index].name
+                        targets = ({t for t, _ in was[4]}
+                                   | {t for t, _ in now[4]})
+                        for target in targets:
+                            changed.add(self._resolve_edge(source,
+                                                           target)[0])
             else:
                 changed = set(range(num_steps))
             self._quantization_signature = signature
@@ -253,21 +347,27 @@ class CompiledPlan:
             own = step.node.generated_noise()
             step.noise = own if (own.variance > 0.0
                                  or own.mean != 0.0) else None
+            step.edge_taps = self._build_edge_taps(step)
             # The local evaluation signature is what a step contributes to
             # an analytical walk beyond its inputs: coefficient state,
-            # effective coefficient precision, own noise moments.  Spec
-            # edits that leave it untouched (e.g. a rounding-mode change
-            # on a disabled quantizer) rebuild the quantizer but do not
+            # effective coefficient precision, own noise moments, and the
+            # taps on its incoming edges.  Spec edits that leave it
+            # untouched (e.g. a rounding-mode change on a disabled
+            # quantizer, or an integer-width change — overflow is NONE,
+            # so values never change) rebuild the quantizer but do not
             # dirty the analytical caches.
             local = (_node_coefficient_state(step.node),
                      self._coeff_key(step),
                      None if step.noise is None
-                     else (step.noise.mean, step.noise.variance))
+                     else (step.noise.mean, step.noise.variance),
+                     _taps_signature(step.edge_taps))
             if local != self._local_signatures[index]:
                 self._local_signatures[index] = local
                 stamped.append(index)
         self.noise_steps = tuple(step for step in self.steps
                                  if step.noise is not None)
+        self._any_edge_taps = any(step.edge_taps is not None
+                                  for step in self.steps)
         if stamped:
             self._epoch += 1
             self._step_epochs[stamped] = self._epoch
@@ -278,20 +378,97 @@ class CompiledPlan:
         self._tape_bound = False
         return True
 
-    def requantize(self, assignment: dict[str, int | None]) -> None:
+    def requantize(self, assignment: dict[str, int | None],
+                   allow_enable: bool = False) -> None:
         """Update fractional word lengths in place and refresh the plan.
 
-        ``assignment`` maps node names to their new data-path fractional
-        bit counts (``None`` disables quantization).  This is the sanctioned
-        mutation path of the word-length optimizer's inner loop: the
-        schedule and the frequency-response cache are reused across search
-        iterations.
+        ``assignment`` maps node names — or ``"source->target"`` edge keys
+        — to their new fractional bit counts (``None`` disables the
+        node's quantizer / removes the fanout tap).  This is the
+        sanctioned mutation path of the word-length optimizer's inner
+        loop: the schedule and the frequency-response cache are reused
+        across search iterations.
+
+        Assigning bits to a node whose spec is disabled
+        (``fractional_bits=None``) would silently *enable* quantization
+        with a default ROUND spec; that is rejected with a ValueError
+        naming the node unless ``allow_enable=True`` (the batched
+        evaluators opt in because their configuration stacks legitimately
+        toggle quantization per config).
         """
         with span("plan.requantize", nodes=len(assignment)):
             for name, bits in assignment.items():
-                node = self.graph.node(name)
-                node.quantization = node.quantization.with_fractional_bits(bits)
+                if name in self.graph.nodes:
+                    node = self.graph.node(name)
+                    spec = node.quantization
+                    if (bits is not None and not spec.enabled
+                            and not allow_enable):
+                        raise ValueError(
+                            f"node {name!r} is not quantized; assigning "
+                            f"{bits} fractional bits would silently enable "
+                            "quantization with a default ROUND spec — pass "
+                            "allow_enable=True to opt in")
+                    node.quantization = spec.with_fractional_bits(bits)
+                else:
+                    source, target = parse_edge_key(name)
+                    self._resolve_edge(source, target)
+                    node = self.graph.node(source)
+                    node.quantization = \
+                        node.quantization.with_edge_fractional_bits(target,
+                                                                    bits)
             self.refresh()
+
+    def _resolve_edge(self, source: str, target: str) -> tuple[int, int]:
+        """(target step index, input port) of the unique ``source->target``
+        edge; rejects unknown and ambiguous (multi-port) pairs."""
+        slots = self._edge_index.get((source, target))
+        if not slots:
+            raise ValueError(
+                f"no edge {source!r} -> {target!r} in graph "
+                f"{self.graph.name!r}")
+        if len(slots) > 1:
+            raise ValueError(
+                f"edge {source!r} -> {target!r} is ambiguous: the pair is "
+                f"wired on ports {sorted(port for _, port in slots)}; "
+                "per-edge word lengths need a unique edge per node pair")
+        return slots[0]
+
+    def _build_edge_taps(self, step: PlanStep) -> tuple | None:
+        """Incoming :class:`EdgeTap` tuple of one step (``None`` if none)."""
+        taps = None
+        for port, predecessor in enumerate(step.predecessors):
+            source_step = self.steps[predecessor]
+            spec = source_step.node.quantization
+            if not spec.edge_fractional_bits:
+                continue
+            bits = spec.edge_bits_for(step.name)
+            if bits is None:
+                continue
+            self._resolve_edge(source_step.name, step.name)
+            if taps is None:
+                taps = [None] * len(step.predecessors)
+            stats = spec.edge_noise_stats(bits)
+            taps[port] = EdgeTap(
+                key=f"{source_step.name}->{step.name}",
+                bits=bits,
+                rounding=spec.rounding,
+                input_bits=spec.fractional_bits,
+                quantizer=spec.edge_quantizer(bits),
+                noise=stats if (stats.variance > 0.0
+                                or stats.mean != 0.0) else None,
+            )
+        return tuple(taps) if taps is not None else None
+
+    def active_edge_taps(self) -> list[tuple[PlanStep, int, EdgeTap]]:
+        """``(target step, port, tap)`` triples of noise-injecting taps."""
+        result = []
+        for step in self.steps:
+            if step.edge_taps is None:
+                continue
+            for port, tap in enumerate(step.edge_taps):
+                if tap is not None and tap.noise is not None:
+                    result.append((step, port, tap))
+        return result
 
     @contextmanager
     def preserve_quantization(self):
@@ -595,6 +772,11 @@ class CompiledPlan:
 
         if get_backend() != "codegen" or self._tape_error is not None:
             return None
+        if self._any_edge_taps:
+            # The tape has no edge-tap semantics; fall back to the
+            # per-node walk without latching an error — the taps may be
+            # removed by a later requantize, re-enabling the tape.
+            return None
         if self._tape is None:
             from repro.simkernel.codegen import (UnsupportedPlanError,
                                                  lower_plan)
@@ -645,6 +827,12 @@ class CompiledPlan:
                         signals[step.index] = value
                         continue
                     node_inputs = [signals[i] for i in step.predecessors]
+                    if fixed and step.edge_taps is not None:
+                        node_inputs = [
+                            tap.quantizer.quantize(value)
+                            if tap is not None else value
+                            for tap, value in zip(step.edge_taps,
+                                                  node_inputs)]
                     signals[step.index] = self._simulate(step.node,
                                                          node_inputs, fixed)
         outputs = {name: signals[index]
@@ -688,9 +876,15 @@ class CompiledPlan:
                     step.node, [reference[i] for i in step.predecessors],
                     False)
                 if tape is None:
+                    fixed_inputs = [fixed[i] for i in step.predecessors]
+                    if step.edge_taps is not None:
+                        fixed_inputs = [
+                            tap.quantizer.quantize(value)
+                            if tap is not None else value
+                            for tap, value in zip(step.edge_taps,
+                                                  fixed_inputs)]
                     fixed[step.index] = self._simulate(
-                        step.node, [fixed[i] for i in step.predecessors],
-                        True)
+                        step.node, fixed_inputs, True)
         results = []
         for signals in (reference, fixed):
             outputs = {name: signals[index]
@@ -728,14 +922,18 @@ class ConfigStack:
     plan:
         The compiled plan the assignments apply to.
     assignments:
-        Sequence of ``{node name: fractional bits}`` mappings.  ``None``
-        disables quantization for that node; nodes absent from a mapping
-        keep their current word length.  The assignments are *resolved*
-        against the plan state at construction time — later mutations of
-        the graph's specs do not retroactively change the stack.
+        Sequence of ``{node name: fractional bits}`` mappings; keys may
+        also be ``"source->target"`` edge keys assigning per-fanout-branch
+        word lengths.  ``None`` disables quantization for that node (or
+        removes the tap); names absent from a mapping keep their current
+        word length.  The assignments are *resolved* against the plan
+        state at construction time — later mutations of the graph's specs
+        do not retroactively change the stack.
     """
 
-    __slots__ = ("plan", "size", "_bits", "_noise")
+    __slots__ = ("plan", "size", "_bits", "_noise", "_edge_keys",
+                 "_resolved_edges", "_edge_bits_by_step",
+                 "_edge_noise_by_step", "_edge_key_by_slot")
 
     def __init__(self, plan: CompiledPlan, assignments):
         assignments = list(assignments)
@@ -743,10 +941,30 @@ class ConfigStack:
             raise ValueError("the configuration stack is empty")
         plan.refresh()
         known = set(plan.graph.nodes)
-        unknown = set().union(*assignments) - known
+        unknown = set()
+        edge_keys = set()
+        for assignment in assignments:
+            for key in assignment:
+                if key in known or key in edge_keys:
+                    continue
+                try:
+                    plan._resolve_edge(*parse_edge_key(key))
+                except ValueError:
+                    unknown.add(key)
+                else:
+                    edge_keys.add(key)
         if unknown:
             raise ValueError(
                 f"assignment names unknown to the graph: {sorted(unknown)}")
+        # Live taps join the edge axis so resolved() fully overrides the
+        # plan's tap state (a config that omits a live tap's key keeps it,
+        # one that maps it to None removes it — exactly the node-default
+        # semantics).
+        for step in plan.steps:
+            if step.edge_taps:
+                for tap in step.edge_taps:
+                    if tap is not None:
+                        edge_keys.add(tap.key)
         self.plan = plan
         self.size = len(assignments)
         self._bits: list[tuple] = []
@@ -770,6 +988,51 @@ class ConfigStack:
                 if stats.variance > 0.0 or stats.mean != 0.0:
                     any_noise = True
             self._noise.append((means, variances) if any_noise else None)
+        # Per-edge axis: per-config tap bits and tap noise, stored on the
+        # *target* step per input port (where the batched walks inject
+        # them).  The tap-noise input grid is the source's word length in
+        # the same config, mirroring the scalar EdgeTap exactly.
+        self._edge_keys: tuple[str, ...] = tuple(sorted(edge_keys))
+        self._resolved_edges: dict[str, tuple] = {}
+        self._edge_bits_by_step: list = [None] * len(plan.steps)
+        self._edge_noise_by_step: list = [None] * len(plan.steps)
+        self._edge_key_by_slot: dict[tuple[int, int], str] = {}
+        for key in self._edge_keys:
+            source, target = parse_edge_key(key)
+            target_index, port = plan._resolve_edge(source, target)
+            source_index = plan.index_of[source]
+            source_spec = plan.steps[source_index].node.quantization
+            default = source_spec.edge_bits_for(target)
+            bits = tuple(assignment.get(key, default)
+                         for assignment in assignments)
+            source_bits = self._bits[source_index]
+            means = np.zeros(self.size)
+            variances = np.zeros(self.size)
+            any_noise = False
+            per_pair: dict = {}
+            for k, b in enumerate(bits):
+                if b is None:
+                    continue
+                pair = (b, source_bits[k])
+                stats = per_pair.get(pair)
+                if stats is None:
+                    stats = quantization_noise_stats(
+                        int(b), rounding=source_spec.rounding,
+                        input_fractional_bits=source_bits[k])
+                    per_pair[pair] = stats
+                means[k] = stats.mean
+                variances[k] = stats.variance
+                if stats.variance > 0.0 or stats.mean != 0.0:
+                    any_noise = True
+            self._resolved_edges[key] = bits
+            self._edge_key_by_slot[(target_index, port)] = key
+            by_step = self._edge_bits_by_step[target_index] or {}
+            by_step[port] = bits
+            self._edge_bits_by_step[target_index] = by_step
+            if any_noise:
+                noise_by_step = self._edge_noise_by_step[target_index] or {}
+                noise_by_step[port] = (means, variances)
+                self._edge_noise_by_step[target_index] = noise_by_step
 
     # ------------------------------------------------------------------
     # Per-step queries
@@ -786,12 +1049,49 @@ class ConfigStack:
         """
         return self._noise[step.index]
 
+    def edge_bits(self, step: PlanStep):
+        """Per-config tap bits of one step's incoming edges.
+
+        ``None`` when the stack's edge axis does not touch this step;
+        otherwise ``{input port: (bits per config, ...)}`` (entries may be
+        ``None`` where a config removes the tap).
+        """
+        return self._edge_bits_by_step[step.index]
+
+    def edge_noise(self, step: PlanStep):
+        """Per-config tap-noise arrays of one step's incoming edges.
+
+        ``None`` when no config injects tap noise at this step; otherwise
+        ``{input port: (means, variances)}`` with exact zeros for silent
+        configs.
+        """
+        return self._edge_noise_by_step[step.index]
+
+    def edge_key(self, step: PlanStep, port: int) -> str:
+        """The ``"source->target"`` key of one tapped input port."""
+        return self._edge_key_by_slot[(step.index, port)]
+
+    def edge_noise_sources(self) -> dict[str, tuple]:
+        """``{edge key: (means, variances)}`` of taps noisy in some config."""
+        result = {}
+        for index, noise in enumerate(self._edge_noise_by_step):
+            if noise:
+                for port, arrays in noise.items():
+                    result[self._edge_key_by_slot[(index, port)]] = arrays
+        return result
+
     def resolved(self, config: int) -> dict:
-        """Full ``{node name: bits}`` assignment of one config."""
-        return {step.name: self._bits[step.index][config]
-                for step in self.plan.steps
-                if step.node.quantization.enabled
-                or self._bits[step.index][config] is not None}
+        """Full ``{name: bits}`` assignment of one config (edge keys
+        included), suitable for ``plan.requantize(...,
+        allow_enable=True)`` to reproduce the config's complete
+        quantization state."""
+        result = {step.name: self._bits[step.index][config]
+                  for step in self.plan.steps
+                  if step.node.quantization.enabled
+                  or self._bits[step.index][config] is not None}
+        for key in self._edge_keys:
+            result[key] = self._resolved_edges[key][config]
+        return result
 
     def coefficient_signatures(self) -> list[tuple]:
         """Per-config tuples of effective coefficient precisions.
@@ -928,10 +1228,19 @@ def structure_signature(graph: SignalFlowGraph) -> tuple:
 
 
 def quantization_signature(graph: SignalFlowGraph) -> tuple:
-    """Cheap fingerprint of every node's quantization specification."""
+    """Cheap fingerprint of every node's quantization specification.
+
+    Component order matters to :meth:`CompiledPlan.refresh`, which
+    decomposes a per-node diff: indices 0 (word length), 1 (rounding) and
+    4 (edge entries) also dirty the node's tapped fanout targets, index 5
+    (integer width) rebuilds the quantizer without dirtying analytical
+    caches (overflow is NONE, so values never change).
+    """
     return tuple((spec.fractional_bits, spec.rounding,
                   spec.coefficient_fractional_bits,
-                  spec.input_fractional_bits)
+                  spec.input_fractional_bits,
+                  spec.edge_fractional_bits,
+                  spec.integer_bits)
                  for spec in (node.quantization
                               for node in graph.nodes.values()))
 

@@ -66,6 +66,18 @@ def _spec_to_dict(spec: QuantizationSpec) -> dict:
             data["coefficient_fractional_bits"] = spec.coefficient_fractional_bits
         if spec.input_fractional_bits is not None:
             data["input_fractional_bits"] = spec.input_fractional_bits
+    # Fine-grained fields are emitted independently of `enabled`: a
+    # fanout tap on an unquantized source is legitimate (the tap then
+    # quantizes a full-precision signal).  Specs without them serialize
+    # byte-identically to the pre-edge schema.
+    if spec.edge_fractional_bits:
+        data["edge_fractional_bits"] = {target: bits for target, bits
+                                        in spec.edge_fractional_bits}
+        # Taps inherit the spec's rounding mode, which would otherwise
+        # be dropped for disabled specs.
+        data.setdefault("rounding", spec.rounding.value)
+    if spec.integer_bits is not None:
+        data["integer_bits"] = spec.integer_bits
     return data
 
 
@@ -203,13 +215,26 @@ def assignment_fingerprint(assignment: dict) -> str:
 # Deserialization
 # ----------------------------------------------------------------------
 def _spec_from_dict(data: dict) -> QuantizationSpec:
+    edge_bits = {str(target): int(bits) for target, bits
+                 in data.get("edge_fractional_bits", {}).items()}
+    integer_bits = data.get("integer_bits")
+    integer_bits = None if integer_bits is None else int(integer_bits)
     if "fractional_bits" not in data or data["fractional_bits"] is None:
-        return QuantizationSpec(None)
+        if not edge_bits and integer_bits is None:
+            return QuantizationSpec(None)
+        return QuantizationSpec(
+            None,
+            rounding=RoundingMode(data.get("rounding", "round")),
+            edge_fractional_bits=edge_bits,
+            integer_bits=integer_bits,
+        )
     return QuantizationSpec(
         fractional_bits=int(data["fractional_bits"]),
         rounding=RoundingMode(data.get("rounding", "round")),
         coefficient_fractional_bits=data.get("coefficient_fractional_bits"),
         input_fractional_bits=data.get("input_fractional_bits"),
+        edge_fractional_bits=edge_bits,
+        integer_bits=integer_bits,
     )
 
 
@@ -230,7 +255,12 @@ def _node_from_dict(data: dict) -> Node:
     if node_type == "gain":
         return GainNode(name, float(data["gain"]), quantization=spec)
     if node_type == "delay":
-        return DelayNode(name, int(data.get("delay", 1)))
+        node = DelayNode(name, int(data.get("delay", 1)))
+        # Delay nodes never quantize their own output, but their spec
+        # may still carry fanout-tap widths — reattach it so the
+        # round-trip stays loss-free.
+        node.quantization = spec
+        return node
     if node_type == "fir":
         return FirNode(name, data["taps"], quantization=spec)
     if node_type == "iir":

@@ -263,6 +263,11 @@ def lower_plan(plan) -> PlanTape:
             raise UnsupportedPlanError(
                 f"node {step.name!r} of type {type(step.node).__name__} "
                 "cannot be lowered to a tape op")
+        if step.edge_taps is not None:
+            raise UnsupportedPlanError(
+                f"step {step.name!r} has per-edge fanout taps, which "
+                "have no tape semantics yet; run the per-node schedule "
+                "walk instead")
         ops.append(TapeOp(opcode, step.index, step.predecessors, step.name))
     input_slots = tuple((name, plan.index_of[name])
                         for name in plan.input_names)

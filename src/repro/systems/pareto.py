@@ -21,6 +21,7 @@ Exposed on the command line as ``python -m repro.cli sweep``.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -159,6 +160,11 @@ def budget_range(loosest: float, tightest: float, count: int) -> np.ndarray:
       order;
     * equal endpoints collapse to ``count`` copies of the same budget.
     """
+    # NaN compares False against everything, so `<= 0` alone would wave
+    # a NaN endpoint through and geomspace would emit a NaN ladder.
+    if not (math.isfinite(loosest) and math.isfinite(tightest)):
+        raise ValueError(
+            f"noise budgets must be finite, got ({loosest!r}, {tightest!r})")
     if loosest <= 0 or tightest <= 0:
         raise ValueError("noise budgets must be positive")
     if count < 0:
@@ -178,6 +184,7 @@ def sweep_noise_budgets(system: SignalFlowGraph, budgets,
                         min_bits: int = 4, max_bits: int = 24,
                         batch: bool | None = None,
                         mode: str | None = None,
+                        granularity: str = "node",
                         validate_samples: int = 0,
                         seed: int = 0) -> ParetoFront:
     """Sweep noise budgets into a cost-vs-noise Pareto front.
@@ -193,7 +200,7 @@ def sweep_noise_budgets(system: SignalFlowGraph, budgets,
         nowhere — the front only holds feasible points).  An empty budget
         sequence yields a well-formed empty front; duplicate budgets are
         collapsed.
-    method, n_psd, min_bits, max_bits, batch, mode:
+    method, n_psd, min_bits, max_bits, batch, mode, granularity:
         Forwarded to :class:`WordLengthOptimizer`; one optimizer (hence
         one compiled plan, one response cache and — in the default
         incremental mode — one noise memo) serves every budget: each
@@ -210,16 +217,23 @@ def sweep_noise_budgets(system: SignalFlowGraph, budgets,
     ParetoFront
         One point per feasible budget, sorted loosest first.
     """
-    budgets = sorted({float(b) for b in budgets}, reverse=True)
+    budgets = {float(b) for b in budgets}
+    # Validate before sorting: NaN both defeats the `<= 0` check and
+    # makes the sort order (hence the "tightest budget" break below)
+    # meaningless.
+    bad = [b for b in budgets if not math.isfinite(b) or b <= 0]
+    if bad:
+        raise ValueError(
+            f"noise budgets must be positive and finite, got {sorted(bad)}")
+    budgets = sorted(budgets, reverse=True)
     if not budgets:
         # An empty sweep (e.g. budget_range(..., 0)) is a well-formed,
         # empty front — not an error.
         return ParetoFront(system=system.name, method=method)
-    if budgets[-1] <= 0:
-        raise ValueError("noise budgets must be positive")
     optimizer = WordLengthOptimizer(system, method=method, n_psd=n_psd,
                                     min_bits=min_bits, max_bits=max_bits,
-                                    batch=batch, mode=mode)
+                                    batch=batch, mode=mode,
+                                    granularity=granularity)
     front = ParetoFront(system=system.name, method=method)
     for budget in budgets:
         try:

@@ -30,12 +30,15 @@ bit-for-bit, including its canonical fingerprint — in any process.
 
 from __future__ import annotations
 
+from collections import Counter
+
 import numpy as np
 
 from repro.lti.fir_design import design_fir_lowpass
 from repro.lti.transfer_function import TransferFunction
 from repro.sfg.builder import SfgBuilder
 from repro.sfg.graph import SignalFlowGraph
+from repro.sfg.nodes import OutputNode
 
 #: Default factors a multirate segment may decimate/expand by.  ``n_psd``
 #: values used on random graphs must be divisible by each (see
@@ -265,19 +268,47 @@ def build_random_graph(seed: int, blocks: int = 8, multirate: bool = True,
 
 
 def random_assignments(graph: SignalFlowGraph, seed: int, count: int,
-                       min_bits: int = 6, max_bits: int = 16) -> list[dict]:
+                       min_bits: int = 6, max_bits: int = 16,
+                       edges: bool = False) -> list[dict]:
     """Seeded stack of word-length assignments over a graph's quantized
     nodes (the configuration axis of the batched evaluators).
 
     Each assignment redraws every quantized node's fractional bits; with
     a small probability a node is disabled (``None``) so the
     no-quantization path of the batch machinery gets fuzzed too.
+
+    With ``edges=True`` the vocabulary also covers per-fanout-branch
+    ``"source->target"`` keys: a random subset of the unambiguous edges
+    with quantized sources is drawn *once* per stack, and every
+    assignment then sets each drawn key to either ``None`` (no tap) or a
+    random width.  Naming the same edge keys in every assignment keeps
+    batched evaluation and one-by-one sequential replay equivalent —
+    a key present in one assignment but absent from the next would
+    leave a stale tap behind in the sequential replay.  The edge draws
+    use an independent RNG stream, so for a given seed the node-level
+    draws are bitwise identical with and without ``edges``.
     """
     if count < 1:
         raise ValueError(f"count must be positive, got {count}")
     rng = np.random.default_rng(seed)
     quantized = [node_name for node_name, node in graph.nodes.items()
                  if node.quantization.enabled]
+    tapped: list[str] = []
+    edge_rng = None
+    if edges:
+        edge_rng = np.random.default_rng([seed, 2_654_435_769])
+        pair_counts = Counter((edge.source, edge.target)
+                              for edge in graph.edges)
+        eligible = []
+        for edge in graph.edges:
+            key = f"{edge.source}->{edge.target}"
+            if (key in eligible
+                    or pair_counts[edge.source, edge.target] != 1
+                    or not graph.nodes[edge.source].quantization.enabled
+                    or isinstance(graph.nodes[edge.target], OutputNode)):
+                continue
+            eligible.append(key)
+        tapped = [key for key in eligible if edge_rng.random() < 0.25]
     stack = []
     for _ in range(count):
         assignment: dict[str, int | None] = {}
@@ -287,5 +318,11 @@ def random_assignments(graph: SignalFlowGraph, seed: int, count: int,
             else:
                 assignment[node_name] = int(rng.integers(min_bits,
                                                          max_bits + 1))
+        for key in tapped:
+            if edge_rng.random() < 0.25:
+                assignment[key] = None
+            else:
+                assignment[key] = int(edge_rng.integers(min_bits,
+                                                        max_bits + 1))
         stack.append(assignment)
     return stack

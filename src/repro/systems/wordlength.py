@@ -39,6 +39,8 @@ trade-offs, all bit-identical in their results:
 
 from __future__ import annotations
 
+import math
+from collections import Counter
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -52,10 +54,12 @@ from repro.analysis.flat_method import evaluate_flat, evaluate_flat_batch
 from repro.analysis.psd_method import evaluate_psd, evaluate_psd_batch
 from repro.obs import metric_inc, span
 from repro.sfg.graph import SignalFlowGraph
+from repro.sfg.nodes import OutputNode
 from repro.sfg.plan import compile_plan
 
 _METHODS = ("psd", "flat", "agnostic")
 _MODES = ("incremental", "batch", "sequential")
+_GRANULARITIES = ("node", "edge")
 
 
 @dataclass
@@ -65,13 +69,20 @@ class WordLengthResult:
     Attributes
     ----------
     assignment:
-        Mapping from node name to its optimized fractional word length.
+        Mapping from node name (and, at ``granularity="edge"``, from
+        ``"source->target"`` edge key) to its optimized fractional word
+        length.
     noise_power:
         Estimated output noise power of the final assignment.
     budget:
         Noise-power budget that was enforced.
     total_bits:
-        Sum of fractional bits over all optimized nodes (the cost).
+        Cost of the assignment: the sum of fractional bits over all
+        optimized nodes, plus — at edge granularity — the per-edge
+        deltas ``min(edge bits, source bits) - source bits`` (a fanout
+        tap narrower than its source saves datapath bits on that
+        branch; a tap at or above the source width is a no-op and
+        costs nothing).
     evaluations:
         Number of distinct candidate evaluations performed (batched
         candidates count individually), a direct measure of how much the
@@ -133,11 +144,21 @@ class WordLengthOptimizer:
         Back-compat alias: ``batch=True`` means ``mode="batch"``,
         ``batch=False`` means ``mode="sequential"``.  Leave both unset
         for the incremental default.
+    granularity:
+        ``"node"`` (default) tunes one fractional width per quantized
+        node — the classical search.  ``"edge"`` additionally tunes a
+        fractional width per fanout branch (every unambiguous
+        ``source->target`` edge whose source is quantized and whose
+        target is not an output), letting one consumer of a shared
+        signal run narrower than the others.  Node-level assignments
+        are the degenerate case: an edge at its source's width is a
+        no-op tap with zero cost and zero noise.
     """
 
     def __init__(self, graph: SignalFlowGraph, method: str = "psd",
                  n_psd: int = 256, min_bits: int = 4, max_bits: int = 24,
-                 batch: bool | None = None, mode: str | None = None):
+                 batch: bool | None = None, mode: str | None = None,
+                 granularity: str = "node"):
         if min_bits < 1 or max_bits < min_bits:
             raise ValueError(
                 f"invalid bit range [{min_bits}, {max_bits}]")
@@ -155,6 +176,10 @@ class WordLengthOptimizer:
             raise ValueError(
                 f"conflicting batch={batch!r} and mode={mode!r}; pass "
                 "only mode (batch is the legacy alias)")
+        if granularity not in _GRANULARITIES:
+            raise ValueError(
+                f"unknown granularity {granularity!r}; expected one of "
+                f"{_GRANULARITIES}")
         self.graph = graph
         self.method = method
         self.n_psd = n_psd
@@ -162,15 +187,37 @@ class WordLengthOptimizer:
         self.max_bits = max_bits
         self.mode = mode
         self.batch = mode == "batch"
+        self.granularity = granularity
         self._evaluations = 0
         # The graph is compiled once; the search re-quantizes the plan in
         # place, so the schedule and the memoized per-node frequency
         # responses are shared by every candidate evaluation.
         self._plan = compile_plan(graph)
+        # Only nodes with an enabled spec are tuned: handing bits to an
+        # unquantized node would trip requantize's allow_enable guard
+        # (and silently changing the search space would be worse).
         self._tunable = [name for name, node in graph.nodes.items()
                          if node.quantization.enabled]
         if not self._tunable:
             raise ValueError("the graph has no quantized node to optimize")
+        # Edge granularity adds one tunable per unambiguous fanout
+        # branch whose source is quantized; multi-port (source, target)
+        # pairs are skipped because a "source->target" key cannot name
+        # one of them, and output taps are skipped because the output
+        # node is a pure probe.
+        self._edge_sources: dict[str, str] = {}
+        if granularity == "edge":
+            pair_counts = Counter((edge.source, edge.target)
+                                  for edge in graph.edges)
+            for edge in graph.edges:
+                key = f"{edge.source}->{edge.target}"
+                if (key in self._edge_sources
+                        or pair_counts[edge.source, edge.target] != 1
+                        or not graph.nodes[edge.source].quantization.enabled
+                        or isinstance(graph.nodes[edge.target], OutputNode)):
+                    continue
+                self._edge_sources[key] = edge.source
+            self._tunable.extend(self._edge_sources)
 
     # ------------------------------------------------------------------
     # Evaluation plumbing
@@ -226,6 +273,25 @@ class WordLengthOptimizer:
                 result = evaluate_agnostic_batch(self._plan, candidates)
             return np.asarray(result.power, dtype=float)
 
+    def assignment_cost(self, assignment: dict[str, int]) -> int:
+        """Total fractional bits of an assignment (the search cost).
+
+        Node keys contribute their width directly.  Edge keys
+        contribute ``min(edge bits, source bits) - source bits``: a tap
+        narrower than its source shrinks that branch's datapath, while
+        a tap at or above the source width is a numerical no-op and
+        costs nothing.  At node granularity this degenerates to
+        ``sum(assignment.values())``.
+        """
+        total = 0
+        for name, bits in assignment.items():
+            source = self._edge_sources.get(name)
+            if source is None:
+                total += bits
+            else:
+                total += min(bits, assignment[source]) - assignment[source]
+        return total
+
     # ------------------------------------------------------------------
     # Search
     # ------------------------------------------------------------------
@@ -241,8 +307,11 @@ class WordLengthOptimizer:
         evaluated, so the caller never needs to re-measure the starting
         point.
         """
-        if budget <= 0:
-            raise ValueError("the noise budget must be positive")
+        budget = float(budget)
+        if not math.isfinite(budget) or budget <= 0:
+            raise ValueError(
+                f"the noise budget must be positive and finite, got "
+                f"{budget!r}")
         with span("optimizer.uniform_search", budget=budget):
             low, high = self.min_bits, self.max_bits
             powers: dict[int, float] = {}
@@ -274,17 +343,31 @@ class WordLengthOptimizer:
                 else None)
         counters_before = memo.counters() if memo is not None else None
         assignment, current_power = self._uniform_search(budget)
-        history = [(sum(assignment.values()), current_power)]
+        history = [(self.assignment_cost(assignment), current_power)]
 
+        base_cost = self.assignment_cost(assignment)
         improved = True
         while improved:
             improved = False
             candidates = []
             for name in self._tunable:
-                if assignment[name] <= self.min_bits:
+                source = self._edge_sources.get(name)
+                # An edge tap wider than its source is a no-op, so the
+                # first useful decrement starts from the *effective*
+                # width min(edge, source), not the stored one.
+                current = (assignment[name] if source is None
+                           else min(assignment[name], assignment[source]))
+                if current <= self.min_bits:
                     continue
                 candidate = dict(assignment)
-                candidate[name] -= 1
+                candidate[name] = current - 1
+                # Only strict cost improvements compete: narrowing a
+                # node that already carries a narrower fanout tap can
+                # be cost-neutral (the tapped branch stays at the tap
+                # width), and accepting such a move would burn noise
+                # slack without buying anything.
+                if self.assignment_cost(candidate) >= base_cost:
+                    continue
                 candidates.append(candidate)
             if not candidates:
                 break
@@ -300,7 +383,8 @@ class WordLengthOptimizer:
             if best_index is not None:
                 assignment = candidates[best_index]
                 current_power = best_power
-                history.append((sum(assignment.values()), best_power))
+                base_cost = self.assignment_cost(assignment)
+                history.append((base_cost, best_power))
                 improved = True
 
         # The final power is already known from the round that accepted
@@ -322,7 +406,7 @@ class WordLengthOptimizer:
             assignment=dict(assignment),
             noise_power=current_power,
             budget=budget,
-            total_bits=sum(assignment.values()),
+            total_bits=self.assignment_cost(assignment),
             evaluations=self._evaluations,
             history=history,
             full_walks=full_walks,

@@ -202,7 +202,11 @@ def _check_backend_equality(graph, plan, *, samples, seed, **options):
 
 def _check_batch_vs_sequential(graph, plan, *, samples, seed, n_psd,
                                batch_configs, **options):
-    assignments = random_assignments(graph, seed + 1, batch_configs)
+    # edges=True: the vocabulary covers per-fanout-branch taps on top of
+    # the node widths, so the batch/sequential equivalence pins the
+    # fine-grained requantize path too.
+    assignments = random_assignments(graph, seed + 1, batch_configs,
+                                     edges=True)
     stimulus = _stimulus(graph, samples, seed)
     single_rate = not is_multirate(graph)
 
@@ -214,7 +218,9 @@ def _check_batch_vs_sequential(graph, plan, *, samples, seed, n_psd,
                                                           stimulus)
     with plan.preserve_quantization():
         for index, assignment in enumerate(assignments):
-            plan.requantize(assignment)
+            # allow_enable: an assignment may re-enable a node the
+            # previous one in the replay disabled.
+            plan.requantize(assignment, allow_enable=True)
             scalar = evaluate_psd(plan, n_psd)
             _require(np.array_equal(psd_stack.ac[index], scalar.ac)
                      and psd_stack.mean[index] == scalar.mean,
@@ -263,7 +269,7 @@ def _check_ed_band(graph, plan, *, seed, n_psd, ed_samples,
 def _check_incremental(graph, plan, *, seed, n_psd, batch_configs,
                        **options):
     single_rate = not is_multirate(graph)
-    edits = random_assignments(graph, seed + 3, 4)
+    edits = random_assignments(graph, seed + 3, 4, edges=True)
     memo = plan_memo(plan)
     with plan.preserve_quantization():
         # Warm every memo channel on the current quantization, then
@@ -276,7 +282,7 @@ def _check_incremental(graph, plan, *, seed, n_psd, batch_configs,
             evaluate_psd_tracked(plan, n_psd)
         before = memo.counters()["cone_recomputes"]
         for index, assignment in enumerate(edits):
-            plan.requantize(assignment)
+            plan.requantize(assignment, allow_enable=True)
             warm_psd = evaluate_psd(plan, n_psd)
             warm_stats = evaluate_agnostic(plan)
             warm_tracked = (evaluate_psd_tracked(plan, n_psd)

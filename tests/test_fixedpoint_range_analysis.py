@@ -186,3 +186,30 @@ class TestIntegerBits:
         bits = assign_integer_bits(graph, {"x": (-1.0, 1.0)}, margin_bits=1)
         assert bits["x"] == 1 + 1
         assert bits["g"] >= 3
+
+    def test_unsigned_boundary_costs_a_bit(self):
+        # A signed format with k integer bits represents -2**k for free;
+        # an unsigned one tops out below 2**k, so a power-of-two
+        # magnitude on the negative side costs one more bit unsigned.
+        assert integer_bits_for_range(Interval(-2.0, 1.0)) == 1
+        assert integer_bits_for_range(Interval(-2.0, 1.0),
+                                      signed=False) == 2
+        assert integer_bits_for_range(Interval(0.0, 0.9),
+                                      signed=False) == 0
+
+    def test_assign_integer_bits_forwards_signed(self):
+        # Regression: `signed` was accepted by integer_bits_for_range but
+        # never plumbed through assign_integer_bits, so unsigned
+        # datapaths silently got the signed boundary analysis on every
+        # node.
+        builder = SfgBuilder("unsigned")
+        x = builder.input("x")
+        g = builder.gain("g", -2.0, x)
+        builder.output("y", g)
+        graph = builder.build()
+        signed = assign_integer_bits(graph, {"x": (0.0, 1.0)})
+        unsigned = assign_integer_bits(graph, {"x": (0.0, 1.0)},
+                                       signed=False)
+        assert signed["g"] == 1
+        assert unsigned["g"] == 2
+        assert all(unsigned[name] >= signed[name] for name in signed)

@@ -46,6 +46,70 @@ class TestQuantizationSpec:
         assert changed.fractional_bits == 6
         assert changed.rounding is RoundingMode.TRUNCATE
 
+    def test_with_fractional_bits_preserves_every_field(self):
+        """Completeness: a new spec field must survive the copy.
+
+        ``with_fractional_bits`` historically rebuilt the spec field by
+        field, so adding a field silently dropped it in every optimizer
+        requantize.  Populate each field with a non-default value and
+        require the copy to carry all of them.
+        """
+        import dataclasses
+
+        non_defaults = {
+            "fractional_bits": 10,
+            "rounding": RoundingMode.TRUNCATE,
+            "coefficient_fractional_bits": 13,
+            "input_fractional_bits": 9,
+            "edge_fractional_bits": {"consumer": 7},
+            "integer_bits": 3,
+        }
+        missing = [f.name for f in dataclasses.fields(QuantizationSpec)
+                   if f.name not in non_defaults]
+        assert not missing, \
+            f"extend this test's non_defaults for new field(s) {missing}"
+        spec = QuantizationSpec(**non_defaults)
+        changed = spec.with_fractional_bits(6)
+        for field in dataclasses.fields(QuantizationSpec):
+            if field.name == "fractional_bits":
+                assert changed.fractional_bits == 6
+            else:
+                assert getattr(changed, field.name) \
+                    == getattr(spec, field.name), \
+                    f"with_fractional_bits dropped {field.name}"
+
+    def test_edge_fractional_bits_normalized_and_queried(self):
+        spec = QuantizationSpec(10, edge_fractional_bits={"b": 8, "a": 6})
+        assert spec.edge_fractional_bits == (("a", 6), ("b", 8))
+        assert spec.edge_bits_for("a") == 6
+        assert spec.edge_bits_for("missing") is None
+        removed = spec.with_edge_fractional_bits("a", None)
+        assert removed.edge_fractional_bits == (("b", 8),)
+        widened = spec.with_edge_fractional_bits("c", 12)
+        assert widened.edge_bits_for("c") == 12
+
+    def test_duplicate_edge_target_rejected(self):
+        with pytest.raises(ValueError, match="duplicate target"):
+            QuantizationSpec(10, edge_fractional_bits=(("a", 6), ("a", 8)))
+
+    def test_integer_bits_override_quantizer_format(self):
+        default = QuantizationSpec(10)
+        pinned = QuantizationSpec(10, integer_bits=3)
+        assert default.quantizer().fmt.integer_bits == 15
+        assert pinned.quantizer().fmt.integer_bits == 3
+        assert pinned.with_integer_bits(None).quantizer().fmt.integer_bits \
+            == 15
+
+    def test_edge_quantizer_and_noise_stats(self):
+        spec = QuantizationSpec(10, rounding=RoundingMode.TRUNCATE,
+                                edge_fractional_bits={"b": 8})
+        assert spec.edge_quantizer(8).fmt.fractional_bits == 8
+        noisy = spec.edge_noise_stats(8)
+        assert noisy.variance > 0.0
+        # A tap at (or above) the source width is a numerical no-op.
+        assert spec.edge_noise_stats(10).power == 0.0
+        assert spec.edge_noise_stats(12).power == 0.0
+
 
 class TestSimulationBehaviour:
     def test_add_node_sums_with_signs(self):

@@ -339,3 +339,99 @@ class TestCli:
         missing = tmp_path / "nope.json"
         assert cli_main(["evaluate", str(missing)]) == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestFineGrainedSpecSerialization:
+    """Per-edge / per-signal spec fields in the JSON schema."""
+
+    def _graph_with_fine_grained_specs(self):
+        builder = SfgBuilder("fine")
+        x = builder.input("x", fractional_bits=12)
+        f = builder.fir("f", [0.5, 0.5], x, fractional_bits=10)
+        g = builder.gain("g", 0.75, f, fractional_bits=9)
+        builder.output("y", g)
+        graph = builder.build()
+        node = graph.node("x")
+        node.quantization = node.quantization \
+            .with_edge_fractional_bits("f", 8).with_integer_bits(2)
+        return graph
+
+    def test_round_trip_preserves_every_spec_field(self, tmp_path):
+        """Completeness: a new spec field must survive save -> load.
+
+        Driven by ``dataclasses.fields()`` so that adding a field to
+        :class:`QuantizationSpec` without teaching the serializer fails
+        here instead of silently dropping the field.
+        """
+        import dataclasses
+
+        from repro.fixedpoint.quantizer import RoundingMode
+        from repro.sfg.nodes import QuantizationSpec
+
+        non_defaults = {
+            "fractional_bits": 10,
+            "rounding": RoundingMode.TRUNCATE,
+            "coefficient_fractional_bits": 13,
+            "input_fractional_bits": 9,
+            "edge_fractional_bits": {"f": 7},
+            "integer_bits": 3,
+        }
+        missing = [f.name for f in dataclasses.fields(QuantizationSpec)
+                   if f.name not in non_defaults]
+        assert not missing, \
+            f"extend this test's non_defaults for new field(s) {missing}"
+        builder = SfgBuilder("complete")
+        x = builder.input("x", fractional_bits=12)
+        f = builder.fir("f", [0.5, 0.5], x, fractional_bits=10)
+        builder.output("y", f)
+        graph = builder.build()
+        graph.node("x").quantization = QuantizationSpec(**non_defaults)
+        path = tmp_path / "system.json"
+        save_graph(graph, path)
+        restored = load_graph(path).node("x").quantization
+        for field in dataclasses.fields(QuantizationSpec):
+            assert getattr(restored, field.name) \
+                == getattr(graph.node("x").quantization, field.name), \
+                f"serialization round-trip dropped {field.name}"
+
+    def test_edge_taps_on_disabled_spec_round_trip(self, tmp_path):
+        graph = self._graph_with_fine_grained_specs()
+        node = graph.node("f")
+        node.quantization = node.quantization.with_fractional_bits(None) \
+            .with_edge_fractional_bits("g", 6)
+        path = tmp_path / "system.json"
+        save_graph(graph, path)
+        restored = load_graph(path)
+        spec = restored.node("f").quantization
+        assert not spec.enabled
+        assert spec.edge_bits_for("g") == 6
+        assert restored.node("x").quantization.edge_bits_for("f") == 8
+        assert restored.node("x").quantization.integer_bits == 2
+
+    def test_plain_specs_serialize_as_before(self):
+        """Absent fine-grained fields leave the schema byte-identical."""
+        builder = SfgBuilder("plain")
+        x = builder.input("x", fractional_bits=12)
+        f = builder.fir("f", [0.5, 0.5], x, fractional_bits=10)
+        builder.output("y", f)
+        data = graph_to_dict(builder.build())
+        for node in data["nodes"]:
+            assert "edge_fractional_bits" not in node
+            assert "integer_bits" not in node
+
+    def test_fingerprint_tracks_fine_grained_fields(self):
+        base = self._graph_with_fine_grained_specs()
+        tapped = self._graph_with_fine_grained_specs()
+        node = tapped.node("x")
+        node.quantization = node.quantization.with_edge_fractional_bits("f", 6)
+        assert graph_fingerprint(base) != graph_fingerprint(tapped)
+        unpinned = self._graph_with_fine_grained_specs()
+        node = unpinned.node("x")
+        node.quantization = node.quantization.with_integer_bits(None)
+        assert graph_fingerprint(base) != graph_fingerprint(unpinned)
+
+    def test_assignment_fingerprint_accepts_edge_keys(self):
+        first = assignment_fingerprint({"f": 10, "x->f": 8})
+        second = assignment_fingerprint({"x->f": 8, "f": 10})
+        assert first == second
+        assert first != assignment_fingerprint({"f": 10, "x->f": 7})

@@ -136,6 +136,29 @@ class TestSweep:
         with pytest.raises(ValueError):
             sweep_noise_budgets(_graph(), [1e-6, -1.0])
 
+    @pytest.mark.parametrize("bad",
+                             [float("nan"), float("inf"), float("-inf")])
+    def test_non_finite_budgets_rejected(self, bad):
+        # Regression: NaN passed the `budget <= 0` check and poisoned the
+        # whole sweep (sorting with NaN is undefined, and the optimizer
+        # binary search never terminates meaningfully).
+        with pytest.raises(ValueError, match="finite"):
+            sweep_noise_budgets(_graph(), [1e-6, bad])
+        with pytest.raises(ValueError, match="finite"):
+            budget_range(bad, 1e-8, 3)
+        with pytest.raises(ValueError, match="finite"):
+            budget_range(1e-4, bad, 3)
+
+    def test_edge_granularity_threaded_to_the_optimizer(self):
+        node_front = sweep_noise_budgets(_graph(), [1e-6], n_psd=128)
+        edge_front = sweep_noise_budgets(_graph(), [1e-6], n_psd=128,
+                                         granularity="edge")
+        assert all("->" not in key
+                   for key in node_front.points[0].assignment)
+        assert any("->" in key
+                   for key in edge_front.points[0].assignment)
+        assert edge_front.points[0].noise_power <= 1e-6
+
 
 class TestParetoFront:
     def _point(self, bits, power, budget=1e-6):

@@ -48,6 +48,19 @@ class TestUniformSearch:
         with pytest.raises(ValueError):
             optimizer.uniform_search(0.0)
 
+    @pytest.mark.parametrize("budget",
+                             [float("nan"), float("inf"), float("-inf")])
+    def test_non_finite_budget_rejected(self, budget):
+        # Regression: NaN slipped through the `budget <= 0` guard (every
+        # comparison with NaN is False), so the binary search "converged"
+        # on nonsense instead of failing fast.  Infinities are equally
+        # meaningless as noise budgets.
+        optimizer = WordLengthOptimizer(_two_stage_graph(), n_psd=64)
+        with pytest.raises(ValueError, match="finite"):
+            optimizer.uniform_search(budget)
+        with pytest.raises(ValueError, match="finite"):
+            optimizer.optimize(budget)
+
 
 class TestGreedyOptimization:
     def test_result_meets_budget_and_beats_uniform(self):
