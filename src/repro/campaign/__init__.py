@@ -20,9 +20,15 @@ layer that actually runs such explorations at scale.  The data flow is
   methods x word-length grid) expanded into content-addressed jobs.
 * :mod:`~repro.campaign.cache` — the content-addressed disk cache that
   makes re-runs and overlapping campaigns incremental.
-* :mod:`~repro.campaign.runner` — cache-aware execution, inline or on a
-  :class:`~concurrent.futures.ProcessPoolExecutor`, streaming results to
-  JSONL so interrupted campaigns resume from the cache.
+* :mod:`~repro.campaign.runner` — supervised, cache-aware execution,
+  inline or on a :class:`~concurrent.futures.ProcessPoolExecutor`,
+  streaming results to JSONL so interrupted campaigns resume from the
+  cache; failing payloads are retried, bisected and quarantined instead
+  of aborting the run.
+* :mod:`~repro.campaign.faults` — the supervision knobs
+  (:class:`~repro.campaign.faults.RetryPolicy`) and the seeded chaos
+  harness (:class:`~repro.campaign.faults.FaultInjector`) that proves
+  the fault handling deterministically.
 * :mod:`~repro.campaign.report` — aggregation into per-scenario /
   per-method accuracy and runtime tables, CSV / JSON export.
 
@@ -30,13 +36,23 @@ Exposed on the command line as ``python -m repro.cli campaign``.
 """
 
 from repro.campaign.cache import CacheStats, ResultCache
+from repro.campaign.faults import (
+    FaultInjector,
+    FaultPlan,
+    InjectedFault,
+    RetryPolicy,
+)
 from repro.campaign.jobs import (
+    STATUS_FAILED,
+    STATUS_OK,
     CampaignSpec,
     Job,
     PreparedScenario,
     ScenarioSpec,
     StimulusSpec,
+    base_record,
     expand_campaign,
+    failure_record,
     job_key,
 )
 from repro.campaign.registry import (
@@ -66,8 +82,16 @@ __all__ = [
     "PreparedScenario",
     "expand_campaign",
     "job_key",
+    "base_record",
+    "failure_record",
+    "STATUS_OK",
+    "STATUS_FAILED",
     "ResultCache",
     "CacheStats",
+    "RetryPolicy",
+    "FaultInjector",
+    "FaultPlan",
+    "InjectedFault",
     "CampaignReport",
     "CampaignResult",
     "run_campaign",

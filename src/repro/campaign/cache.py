@@ -44,6 +44,7 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     corrupt: int = 0
+    future_schema: int = 0
     puts: int = 0
 
     @property
@@ -77,6 +78,8 @@ class ResultCache:
                                             result="miss")
         self._corrupt = self.metrics.counter("campaign.cache.lookups",
                                              result="corrupt")
+        self._future = self.metrics.counter("campaign.cache.lookups",
+                                            result="future_schema")
         self._puts = self.metrics.counter("campaign.cache.puts")
 
     @property
@@ -85,6 +88,7 @@ class ResultCache:
         return CacheStats(hits=self._hits.value,
                           misses=self._misses.value,
                           corrupt=self._corrupt.value,
+                          future_schema=self._future.value,
                           puts=self._puts.value)
 
     @property
@@ -115,6 +119,12 @@ class ResultCache:
         whose embedded key does not match its filename, or an unreadable
         file — are deleted, counted as misses and reported through a
         ``logging`` warning naming the offending path.
+
+        Records written under a *newer* ``cache_schema`` than this
+        binary understands are a logged miss but are **left on disk**:
+        an old binary sharing a cache directory with a new one degrades
+        to recomputing instead of misreading (or destroying) records it
+        cannot interpret.
         """
         if self.root is None:
             self._count_miss()
@@ -124,6 +134,9 @@ class ResultCache:
             record = json.loads(path.read_text())
             if not isinstance(record, dict) or record.get("key") != key:
                 raise ValueError("record/key mismatch")
+            schema = record.get("cache_schema", CACHE_SCHEMA_VERSION)
+            if not isinstance(schema, int) or isinstance(schema, bool):
+                raise ValueError(f"non-integer cache_schema {schema!r}")
         except FileNotFoundError:
             self._count_miss()
             return None
@@ -138,6 +151,16 @@ class ResultCache:
                 path.unlink()
             except OSError:
                 pass
+            return None
+        if schema > CACHE_SCHEMA_VERSION:
+            self._count_miss()
+            self._future.inc()
+            metric_inc("campaign.cache.lookups", result="future_schema")
+            logger.warning(
+                "ignoring campaign cache record %s written under future "
+                "cache_schema %d (this binary understands %d); left on "
+                "disk for newer binaries", path, schema,
+                CACHE_SCHEMA_VERSION)
             return None
         self._hits.inc()
         metric_inc("campaign.cache.lookups", result="hit")

@@ -42,6 +42,12 @@ SINGLE_RATE_METHODS = frozenset({"psd_tracked", "flat"})
 #: simulation records or the moment-only estimates.
 PSD_METHODS = frozenset({"psd", "psd_tracked"})
 
+#: Record status values.  Records without a ``status`` field are
+#: successful — the pre-fault-tolerance record shape is unchanged, so
+#: existing caches and JSONL streams keep their exact bytes.
+STATUS_OK = "ok"
+STATUS_FAILED = "failed"
+
 
 @dataclass(frozen=True)
 class StimulusSpec:
@@ -197,6 +203,46 @@ def job_key(graph: SignalFlowGraph, assignment: dict, method: str,
     return _job_key_from_fingerprints(
         graph_fingerprint(graph), assignment_fingerprint(assignment),
         method, n_psd, stimulus, seed)
+
+
+def base_record(payload: dict, job: dict) -> dict:
+    """The identity fields every campaign record starts from.
+
+    ``payload`` is the runner's scenario work order (scenario name,
+    signature, params, stimulus, seed) and ``job`` one of its job dicts;
+    both successful and failure records share this prefix so reports and
+    resume streams join them uniformly.
+    """
+    return {
+        "key": job["key"],
+        "scenario": payload["scenario"],
+        "signature": payload["signature"],
+        "params": payload["params"],
+        "method": job["method"],
+        "wordlength": job["wordlength"],
+        "seed": payload["seed"],
+        # Part of the report's estimate-vs-simulation join key: records
+        # produced under different stimuli must never be joined.
+        "stimulus": payload["stimulus"],
+    }
+
+
+def failure_record(payload: dict, job: dict, error: BaseException,
+                   attempts: int) -> dict:
+    """A quarantined job's structured ``status="failed"`` record.
+
+    Failure records flow to the JSONL stream and the report exactly like
+    results, but are **never** stored in the result cache — there is no
+    negative caching, so a re-run retries the job from scratch.
+    """
+    record = base_record(payload, job)
+    record.update(
+        status=STATUS_FAILED,
+        error_type=type(error).__name__,
+        error_message=str(error),
+        attempts=int(attempts),
+        cached=False)
+    return record
 
 
 def quantized_node_names(graph: SignalFlowGraph) -> tuple:

@@ -17,6 +17,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.analysis.metrics import ed_deviation, is_sub_one_bit
+from repro.campaign.jobs import STATUS_FAILED, STATUS_OK
 from repro.utils.tables import TextTable
 
 _ANALYTICAL = ("psd", "psd_tracked", "flat", "agnostic")
@@ -24,7 +25,7 @@ _ANALYTICAL = ("psd", "psd_tracked", "flat", "agnostic")
 #: Columns of the flattened row/CSV form, in order.
 ROW_FIELDS = ("scenario", "signature", "wordlength", "method", "power",
               "simulated_power", "ed_percent", "sub_one_bit", "cached",
-              "elapsed_ms")
+              "elapsed_ms", "status")
 
 
 def _join_key(record: dict) -> tuple:
@@ -48,7 +49,8 @@ class CampaignReport:
         self.records = list(records)
         self._simulated: dict[tuple, dict] = {
             _join_key(r): r
-            for r in self.records if r["method"] == "simulation"}
+            for r in self.records
+            if r["method"] == "simulation" and "power" in r}
         self._rows: list | None = None
 
     @classmethod
@@ -83,19 +85,21 @@ class CampaignReport:
             return list(self._rows)
         rows = []
         for record in self.records:
+            failed = record.get("status") == STATUS_FAILED
             row = {
                 "scenario": record["scenario"],
                 "signature": record["signature"],
                 "wordlength": record["wordlength"],
                 "method": record["method"],
-                "power": record["power"],
+                "power": record.get("power"),
                 "simulated_power": None,
                 "ed_percent": None,
                 "sub_one_bit": None,
                 "cached": bool(record.get("cached", False)),
                 "elapsed_ms": 1000.0 * record.get("elapsed_seconds", 0.0),
+                "status": STATUS_FAILED if failed else STATUS_OK,
             }
-            if record["method"] in _ANALYTICAL:
+            if not failed and record["method"] in _ANALYTICAL:
                 simulated = self._simulation_for(record)
                 if simulated is not None and simulated["power"] > 0:
                     ed = ed_deviation(simulated["power"], record["power"])
@@ -113,6 +117,16 @@ class CampaignReport:
         """Machine-readable roll-up (used by the CI smoke assertions)."""
         rows = self.rows()
         cached = sum(1 for row in rows if row["cached"])
+        failed = sum(1 for row in rows if row["status"] == STATUS_FAILED)
+        failures = [
+            {"key": record["key"], "scenario": record["scenario"],
+             "method": record["method"],
+             "wordlength": record["wordlength"],
+             "error_type": record.get("error_type"),
+             "error_message": record.get("error_message"),
+             "attempts": record.get("attempts")}
+            for record in self.records
+            if record.get("status") == STATUS_FAILED]
         methods: dict[str, dict] = {}
         for method in sorted({row["method"] for row in rows}):
             method_rows = [row for row in rows if row["method"] == method]
@@ -133,7 +147,9 @@ class CampaignReport:
         return {
             "jobs": len(rows),
             "cached": cached,
-            "computed": len(rows) - cached,
+            "computed": len(rows) - cached - failed,
+            "failed": failed,
+            "failures": failures,
             "hit_rate": cached / len(rows) if rows else 0.0,
             "scenarios": sorted({row["scenario"] for row in rows}),
             "wordlengths": sorted({row["wordlength"] for row in rows}),
@@ -148,11 +164,14 @@ class CampaignReport:
              "Ed [%]", "sub-1-bit?", "cached?", "ms"],
             title=(f"campaign: {summary['jobs']} jobs over "
                    f"{len(summary['scenarios'])} scenario(s), "
-                   f"{summary['cached']} served from cache"))
+                   f"{summary['cached']} served from cache"
+                   + (f", {summary['failed']} FAILED"
+                      if summary["failed"] else "")))
         for row in self.rows():
             table.add_row(
                 row["scenario"], row["wordlength"], row["method"],
-                f"{row['power']:.3e}",
+                "FAILED" if row["status"] == STATUS_FAILED
+                else f"{row['power']:.3e}",
                 "-" if row["simulated_power"] is None
                 else f"{row['simulated_power']:.3e}",
                 "-" if row["ed_percent"] is None

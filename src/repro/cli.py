@@ -28,7 +28,14 @@ The ``campaign`` subcommand is the design-space front end
 scenarios from the registry (``--list-scenarios`` prints them, parameters
 ride along as ``name:key=value,...``), expands a scenario x method x
 word-length grid into content-addressed jobs, serves repeats from the
-result cache and runs the rest on a process pool.
+result cache and runs the rest on a process pool.  Execution is
+supervised (``--max-retries`` / ``--payload-timeout``): failing payloads
+are retried, bisected and quarantined as ``status="failed"`` records
+rather than aborting the campaign, and ``--chaos SEED@RATE`` arms the
+seeded fault injector for reproducible failure drills.  Exit codes: 0 on
+success, 1 on error, **2 on partial failure** (the campaign completed
+but quarantined at least one job; a machine-readable ``failure
+summary:`` JSON line precedes the exit).
 
 The ``fuzz`` subcommand is the differential verification front end
 (:mod:`repro.verify`): it generates seeded random signal-flow graphs and
@@ -70,6 +77,7 @@ times on the shared plan.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.analysis.evaluator import AccuracyEvaluator
@@ -224,6 +232,20 @@ def build_parser() -> argparse.ArgumentParser:
                           help="export the joined report rows as CSV")
     campaign.add_argument("--json-report", default=None,
                           help="export summary + rows + records as JSON")
+    campaign.add_argument("--max-retries", type=int, default=2,
+                          help="re-dispatches a failing payload gets before "
+                               "the supervisor bisects / quarantines it "
+                               "(0 disables retries)")
+    campaign.add_argument("--payload-timeout", type=float, default=0.0,
+                          help="seconds a pool payload may run before it is "
+                               "declared hung and its pool abandoned "
+                               "(0 disables the watchdog)")
+    campaign.add_argument("--chaos", default=None,
+                          metavar="SEED@RATE[@KIND,KIND]",
+                          help="arm the seeded fault injector, e.g. "
+                               "7@0.25 or 7@0.25@exception,crash (kinds: "
+                               "exception, crash, hang, corrupt); chaos "
+                               "runs are reproducible per seed")
     _add_shared_options(campaign, n_psd_default=256)
 
     fuzz = commands.add_parser(
@@ -472,6 +494,9 @@ def _command_campaign(args) -> int:
     from repro.campaign import (
         CampaignReport,
         CampaignSpec,
+        FaultInjector,
+        RetryPolicy,
+        expand_campaign,
         get_family,
         run_campaign,
         scenario_names,
@@ -499,8 +524,18 @@ def _command_campaign(args) -> int:
                         n_psd=args.n_psd,
                         samples=args.samples if args.samples > 0 else None,
                         seed=args.seed)
+    if args.max_retries < 0:
+        print("error: --max-retries must be non-negative", file=sys.stderr)
+        return 1
+    policy = RetryPolicy(
+        max_attempts=args.max_retries + 1,
+        payload_timeout=args.payload_timeout
+        if args.payload_timeout > 0 else None,
+        seed=args.seed)
+    injector = FaultInjector.parse(args.chaos) if args.chaos else None
     result = run_campaign(spec, cache_dir=args.cache_dir,
-                          output_path=args.output, workers=args.workers)
+                          output_path=args.output, workers=args.workers,
+                          retry_policy=policy, fault_injector=injector)
     report = CampaignReport(result.records)
     print(report.describe())
     print(f"cache: {result.cache_hits} hits / {result.total_jobs} jobs "
@@ -510,12 +545,29 @@ def _command_campaign(args) -> int:
               "point(s) (single-rate methods on multirate scenarios)")
     print(f"campaign time: {result.elapsed_seconds:.3f} s "
           f"({result.computed} computed, workers={args.workers})")
+    if result.retries or result.bisections or result.pool_rebuilds:
+        print(f"faults: {result.retries} retries, {result.bisections} "
+              f"bisections, {result.pool_rebuilds} pool rebuilds")
+    if injector is not None:
+        # The injector's ground truth for this grid, for reconciliation
+        # by the chaos-smoke CI job (and anyone replaying the seed).
+        _prepared, jobs, _skipped = expand_campaign(spec)
+        ledger = {key: {"kind": plan.kind, "permanent": plan.permanent}
+                  for key, plan in sorted(
+                      injector.ledger([job.key for job in jobs]).items())}
+        print("chaos ledger: " + json.dumps(ledger, sort_keys=True))
     if args.csv:
         report.to_csv(args.csv)
         print(f"wrote {args.csv}")
     if args.json_report:
         report.to_json(args.json_report)
         print(f"wrote {args.json_report}")
+    if result.failed:
+        summary = report.summary()
+        print("failure summary: " + json.dumps(
+            {"failed": summary["failed"], "failures": summary["failures"]},
+            sort_keys=True))
+        return 2
     return 0
 
 

@@ -162,6 +162,47 @@ class TestResultCache:
         assert cache.get(other) is None
         assert cache.stats.corrupt == 1
 
+    def test_future_schema_record_is_a_miss_left_on_disk(self, tmp_path,
+                                                         caplog):
+        # An old binary sharing a cache dir with a newer one must not
+        # serve (or destroy) records it cannot interpret.
+        import json
+
+        from repro.campaign.cache import CACHE_SCHEMA_VERSION
+
+        cache = ResultCache(tmp_path / "cache")
+        key = "f" * 64
+        cache.put(key, {"power": 4.0})
+        path = cache.path_for(key)
+        record = json.loads(path.read_text())
+        record["cache_schema"] = CACHE_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(record))
+        with caplog.at_level("WARNING", logger="repro.campaign.cache"):
+            assert cache.get(key) is None
+        assert cache.stats.future_schema == 1
+        assert cache.stats.corrupt == 0
+        assert path.exists()  # left for the newer binary, not deleted
+        (log_record,) = caplog.records
+        assert "future" in log_record.getMessage()
+        assert str(path) in log_record.getMessage()
+        # Still readable once this binary understands the version — the
+        # record itself was never touched.
+        assert json.loads(path.read_text())["power"] == 4.0
+
+    def test_non_integer_schema_is_corrupt(self, tmp_path):
+        import json
+
+        cache = ResultCache(tmp_path / "cache")
+        key = "9" * 64
+        cache.put(key, {"power": 5.0})
+        path = cache.path_for(key)
+        record = json.loads(path.read_text())
+        record["cache_schema"] = "2"
+        path.write_text(json.dumps(record))
+        assert cache.get(key) is None
+        assert cache.stats.corrupt == 1
+        assert not path.exists()  # garbage, not a future version: healed
+
     def test_put_is_atomic_no_temp_left_behind(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")
         for index in range(4):

@@ -2,6 +2,10 @@
 
 import csv
 import json
+import os
+import subprocess
+import sys
+import textwrap
 
 import numpy as np
 import pytest
@@ -139,6 +143,155 @@ class TestRunner:
         with pytest.raises(ValueError, match="not both"):
             run_campaign(_spec(), cache=ResultCache(None),
                          cache_dir=tmp_path)
+
+
+class TestFaultPaths:
+    """Failure paths of the supervisor outside the chaos harness (see
+    test_campaign_faults.py for the injected-fault matrix)."""
+
+    def test_persistently_raising_payload_quarantines_only_itself(
+            self, monkeypatch):
+        from repro.campaign import RetryPolicy, runner
+
+        real = runner.execute_scenario_payload
+
+        def poisoned(payload):
+            if payload["scenario"] == "interpolator_chain":
+                raise ValueError("broken scenario build")
+            return real(payload)
+
+        monkeypatch.setattr(runner, "execute_scenario_payload", poisoned)
+        result = run_campaign(
+            _spec(), cache_dir=None,
+            retry_policy=RetryPolicy(max_attempts=2, backoff_base=0.0))
+        by_scenario = {}
+        for record in result.records:
+            by_scenario.setdefault(record["scenario"], []).append(record)
+        # The healthy scenario's records survived intact...
+        healthy = by_scenario["polyphase_decimator"]
+        assert all("power" in record for record in healthy)
+        # ...and every job of the poisoned one was isolated (bisected
+        # down to singles) and quarantined with the real error attached.
+        poisoned_records = by_scenario["interpolator_chain"]
+        assert all(record["status"] == "failed"
+                   for record in poisoned_records)
+        assert all(record["error_type"] == "ValueError"
+                   for record in poisoned_records)
+        assert result.failed == len(poisoned_records)
+        assert result.computed == len(healthy)
+        assert result.bisections >= 1
+
+    def test_keyboard_interrupt_flushes_jsonl_tail(
+            self, tmp_path, monkeypatch, caplog):
+        from repro.campaign import runner
+
+        real = runner.execute_scenario_payload
+        completed = []
+
+        def interrupted(payload):
+            if completed:
+                raise KeyboardInterrupt
+            records = real(payload)
+            completed.append(payload["scenario"])
+            return records
+
+        monkeypatch.setattr(runner, "execute_scenario_payload",
+                            interrupted)
+        output = tmp_path / "stream.jsonl"
+        with caplog.at_level("WARNING", logger="repro.campaign.runner"):
+            with pytest.raises(KeyboardInterrupt):
+                run_campaign(_spec(), cache_dir=tmp_path / "cache",
+                             output_path=output)
+        # The first payload's records reached the stream before the
+        # interrupt — the tail is flushed per record, nothing is lost.
+        lines = [json.loads(line)
+                 for line in output.read_text().splitlines()]
+        assert lines and all(line["scenario"] == completed[0]
+                             for line in lines)
+        assert any("campaign interrupted" in message
+                   for message in caplog.messages)
+        # The partial run resumes: flushed records come back as hits.
+        monkeypatch.setattr(runner, "execute_scenario_payload", real)
+        resumed = run_campaign(_spec(), cache_dir=tmp_path / "cache",
+                               output_path=output)
+        assert resumed.cache_hits == len(lines)
+        report = CampaignReport.from_jsonl(output)
+        assert report.summary()["jobs"] == len(resumed.records)
+
+    def test_resume_after_kill_inside_payload_under_chaos(self, tmp_path):
+        """A driver killed *inside* a payload while chaos is armed:
+        cache + JSONL converge on re-run and the records end up bitwise
+        identical to a fault-free campaign."""
+        cache_dir, output = tmp_path / "cache", tmp_path / "stream.jsonl"
+        script = textwrap.dedent(f"""
+            import os
+            from repro.campaign import runner
+            from repro.campaign import (CampaignSpec, FaultInjector,
+                                        RetryPolicy, ScenarioSpec,
+                                        StimulusSpec, run_campaign)
+
+            real = runner.execute_scenario_payload
+            completed = []
+
+            def dying(payload):
+                if completed:
+                    os._exit(9)  # SIGKILL-grade death mid-payload
+                records = real(payload)
+                completed.append(payload["scenario"])
+                return records
+
+            runner.execute_scenario_payload = dying
+            spec = CampaignSpec(
+                scenarios=(ScenarioSpec("polyphase_decimator",
+                                        {{"factor": 2, "taps": 8}}),
+                           ScenarioSpec("interpolator_chain",
+                                        {{"taps": 7}})),
+                methods=("psd", "agnostic"), wordlengths=(8, 12),
+                n_psd=64,
+                stimulus=StimulusSpec(num_samples=2000,
+                                      discard_transient=32),
+                seed=9)
+            run_campaign(
+                spec, cache_dir={str(cache_dir)!r},
+                output_path={str(output)!r},
+                retry_policy=RetryPolicy(max_attempts=3, backoff_base=0.0,
+                                         seed=9),
+                fault_injector=FaultInjector(
+                    seed=3, rate=0.4, kinds=("exception", "corrupt"),
+                    permanent_rate=0.0))
+        """)
+        env = {**os.environ,
+               "PYTHONPATH": str(pytest.importorskip("repro").__file__
+                                 ).rsplit("/repro/", 1)[0]}
+        process = subprocess.run([sys.executable, "-c", script], env=env,
+                                 capture_output=True, text=True)
+        assert process.returncode == 9, process.stderr
+        # The kill landed after the first payload: its records are on
+        # disk (JSONL tail flushed, cache written record by record).
+        lines = [json.loads(line)
+                 for line in output.read_text().splitlines()]
+        assert lines
+        # The fault-free resume converges from what survived the kill:
+        # flushed records return as cache hits (minus any the chaos
+        # corrupt faults garbled — those heal into recomputed misses).
+        resumed = run_campaign(_spec(), cache_dir=cache_dir,
+                               output_path=output)
+        assert resumed.failed == 0
+        assert resumed.cache_hits >= 1
+        clean = run_campaign(_spec(), cache_dir=None)
+        volatile = ("elapsed_seconds", "batched_with", "cached",
+                    "cache_schema")
+
+        def stripped(record):
+            return {key: value for key, value in record.items()
+                    if key not in volatile}
+
+        for a, b in zip(resumed.records, clean.records):
+            assert stripped(a) == stripped(b)
+        # JSONL (deduped, later record wins) agrees with the cache view.
+        report = CampaignReport.from_jsonl(output)
+        assert {r["key"] for r in report.records} \
+            == {r["key"] for r in resumed.records}
 
 
 class TestReport:
